@@ -1,0 +1,179 @@
+(* Command-line front end for the simulator.
+
+   Subcommands:
+     run     run SPEC models on processor variants (default)
+     multi   multiprogrammed multicore run (BASE vs secure MI6 machine)
+     attack  side-channel verdicts (prime+probe, MSHR, DRAM banks)
+     area    structural area model *)
+
+open Cmdliner
+open Mi6_core
+
+(* ------------------------------------------------------------------ *)
+(* Converters                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let bench_conv =
+  let parse s =
+    match Mi6_workload.Spec.of_name s with
+    | Some b -> Ok b
+    | None -> Error (`Msg (Printf.sprintf "unknown benchmark %S" s))
+  in
+  Arg.conv (parse, fun ppf b -> Format.pp_print_string ppf (Mi6_workload.Spec.name b))
+
+let variant_conv =
+  let parse s =
+    match Config.variant_of_name s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown variant %S" s))
+  in
+  Arg.conv (parse, fun ppf v -> Format.pp_print_string ppf (Config.variant_name v))
+
+let warmup =
+  Arg.(value & opt int 200_000 & info [ "warmup" ] ~doc:"Warmup µops (untimed).")
+
+let measure =
+  Arg.(value & opt int 1_000_000 & info [ "measure" ] ~doc:"Measured µops.")
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let print_result ~label ~variant r ~verbose =
+  Printf.printf
+    "%-11s %-8s cycles=%-10d instrs=%-9d ipc=%.3f br/ki=%.0f br-mpki=%.1f \
+     llc-mpki=%.1f l1d-mpki=%.1f l1i-mpki=%.1f purge-stall=%d\n%!"
+    label
+    (Config.variant_name variant)
+    r.Tmachine.cycles r.Tmachine.instrs (Tmachine.ipc r)
+    (Tmachine.mpki r "core.branches")
+    (Tmachine.mpki r "core.mispredicts")
+    (Tmachine.mpki r "llc.misses")
+    (Tmachine.mpki r "l1d.0.misses")
+    (Tmachine.mpki r "l1i.0.misses")
+    (Mi6_util.Stats.get r.Tmachine.stats "core.purge_stall_cycles");
+  if verbose then Mi6_util.Stats.pp Format.std_formatter r.Tmachine.stats
+
+let run_cmd =
+  let benches =
+    Arg.(value & opt (list bench_conv) Mi6_workload.Spec.all
+         & info [ "b"; "bench" ] ~doc:"Benchmarks (comma separated).")
+  in
+  let variants =
+    Arg.(value & opt (list variant_conv) [ Config.Base ]
+         & info [ "v"; "variant" ] ~doc:"Processor variants (comma separated).")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Dump all counters.") in
+  let run benches variants warmup measure verbose =
+    List.iter
+      (fun bench ->
+        List.iter
+          (fun variant ->
+            let r = Tmachine.run_spec ~variant ~bench ~warmup ~measure in
+            print_result ~label:(Mi6_workload.Spec.name bench) ~variant r
+              ~verbose)
+          variants)
+      benches
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"run SPEC models on processor variants")
+    Term.(const run $ benches $ variants $ warmup $ measure $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* multi                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let multi_cmd =
+  let benches =
+    Arg.(value
+         & opt (list bench_conv)
+             [ Mi6_workload.Spec.Gcc; Mi6_workload.Spec.Libquantum ]
+         & info [ "b"; "bench" ]
+             ~doc:"One benchmark per core (comma separated).")
+  in
+  let secure =
+    Arg.(value & flag
+         & info [ "secure" ]
+             ~doc:"Use the MI6 secure machine (Figure 3 LLC + purge) instead \
+                   of BASE.")
+  in
+  let run benches secure warmup measure =
+    let benches = Array.of_list benches in
+    let cores = Array.length benches in
+    let timing =
+      if secure then Config.secure_multicore ~cores
+      else Config.timing ~cores Config.Base
+    in
+    let rs = Tmachine.run_multi ~timing ~benches ~warmup ~measure in
+    Array.iteri
+      (fun i r ->
+        Printf.printf "core %d: %-11s cycles=%-10d ipc=%.3f (%s machine)\n" i
+          (Mi6_workload.Spec.name benches.(i))
+          r.Tmachine.cycles (Tmachine.ipc r)
+          (if secure then "MI6" else "BASE"))
+      rs
+  in
+  Cmd.v
+    (Cmd.info "multi" ~doc:"multiprogrammed multicore run")
+    Term.(const run $ benches $ secure $ warmup $ measure)
+
+(* ------------------------------------------------------------------ *)
+(* attack                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let attack_cmd =
+  let run () =
+    let verdict name leaky =
+      Printf.printf "%-46s %s\n" name
+        (if leaky then "LEAKS" else "no leak (bit-identical)")
+    in
+    let open Noninterference in
+    verdict "prime+probe, baseline LLC"
+      (leaks [ prime_probe baseline_setup ~secret:true;
+               prime_probe baseline_setup ~secret:false ]);
+    verdict "prime+probe, MI6 LLC"
+      (leaks [ prime_probe mi6_setup ~secret:true;
+               prime_probe mi6_setup ~secret:false ]);
+    verdict "MSHR/queue contention, baseline LLC"
+      (leaks [ mshr_channel baseline_setup ~victim_floods:true;
+               mshr_channel baseline_setup ~victim_floods:false ]);
+    verdict "MSHR/queue contention, MI6 LLC"
+      (leaks [ mshr_channel mi6_setup ~victim_floods:true;
+               mshr_channel mi6_setup ~victim_floods:false ]);
+    verdict "DRAM banks, FR-FCFS controller"
+      (leaks [ dram_bank_channel ~reordering:true ~victim_same_bank:true;
+               dram_bank_channel ~reordering:true ~victim_same_bank:false ]);
+    verdict "DRAM banks, constant-latency controller"
+      (leaks [ dram_bank_channel ~reordering:false ~victim_same_bank:true;
+               dram_bank_channel ~reordering:false ~victim_same_bank:false ])
+  in
+  Cmd.v (Cmd.info "attack" ~doc:"side-channel experiment verdicts")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* area                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let area_cmd =
+  let cores =
+    Arg.(value & opt int 1 & info [ "cores" ] ~doc:"Number of cores.")
+  in
+  let run cores =
+    List.iter
+      (fun c ->
+        Printf.printf "%-70s %8d %8d\n" c.Area_model.name c.Area_model.base_bits
+          c.Area_model.mi6_extra_bits)
+      (Area_model.components ~cores);
+    let s = Area_model.summary ~cores in
+    Printf.printf "TOTAL base=%d extra=%d -> +%.2f%%\n" s.Area_model.base_bits
+      s.Area_model.extra_bits s.Area_model.percent
+  in
+  Cmd.v (Cmd.info "area" ~doc:"structural area model") Term.(const run $ cores)
+
+let () =
+  let doc = "cycle-level MI6 / RiscyOO simulator" in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default:Term.(ret (const (`Help (`Pager, None))))
+          (Cmd.info "mi6_sim" ~doc)
+          [ run_cmd; multi_cmd; attack_cmd; area_cmd ]))

@@ -1,0 +1,1 @@
+examples/enclave_lifecycle.ml: Addr Asm Attestation Char Cpu_state Fsim Int64 List Mi6_core Mi6_func Mi6_isa Mi6_mem Monitor Phys_mem Printf Priv Reg String

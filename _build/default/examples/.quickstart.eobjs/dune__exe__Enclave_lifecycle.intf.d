@@ -1,0 +1,1 @@
+examples/enclave_lifecycle.mli:

@@ -1,0 +1,1 @@
+examples/mshr_channel.ml: List Mi6_core Noninterference Printf

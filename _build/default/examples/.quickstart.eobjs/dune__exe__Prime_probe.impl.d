@@ -1,0 +1,1 @@
+examples/prime_probe.ml: List Mi6_core Noninterference Printf String

@@ -1,0 +1,1 @@
+examples/prime_probe.mli:

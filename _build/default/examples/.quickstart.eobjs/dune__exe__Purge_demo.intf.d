@@ -1,0 +1,1 @@
+examples/purge_demo.mli:

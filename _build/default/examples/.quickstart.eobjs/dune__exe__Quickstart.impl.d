@@ -1,0 +1,1 @@
+examples/quickstart.ml: Addr Asm Attestation Cpu_state Fsim Int64 List Mailbox Mi6_core Mi6_func Mi6_isa Mi6_mem Mi6_util Monitor Phys_mem Printf Priv Reg Region Sha256 String

@@ -1,0 +1,1 @@
+examples/spectre.ml: Addr Asm Cpu_state Csr Fsim Int64 List Mi6_core Mi6_func Mi6_isa Mi6_mem Noninterference Phys_mem Printf Priv Reg

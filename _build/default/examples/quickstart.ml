@@ -1,0 +1,142 @@
+(* Quickstart: the enclave lifecycle end to end, through the public API.
+
+     dune exec examples/quickstart.exe
+
+   Builds a one-core MI6 machine, creates an enclave from a tiny RISC-V
+   program, seals and measures it, runs it to completion under the
+   security monitor, attests it to a remote verifier, and tears it down
+   with a scrub.  Follows the flow of Sections 2 and 6.1 of the paper. *)
+
+open Mi6_isa
+open Mi6_mem
+open Mi6_func
+open Mi6_util
+open Mi6_core
+
+let geometry = Addr.default_regions
+
+let step fmt = Printf.printf ("\n== " ^^ fmt ^^ "\n")
+
+(* The enclave: reads the word its loader placed in its data page,
+   multiplies it by 7, stores the result, and exits via SM call 5. *)
+let evbase = 0x4000_0000
+
+let enclave_program =
+  Asm.assemble ~base:evbase
+    Asm.
+      [
+        Li (Reg.s0, evbase + 0x1000);
+        I (Load { kind = Ld; rd = Reg.t0; rs1 = Reg.s0; offset = 0 });
+        Li (Reg.t1, 7);
+        I (Muldiv { op = Mul; rd = Reg.t0; rs1 = Reg.t0; rs2 = Reg.t1 });
+        I (Store { kind = Sd; rs1 = Reg.s0; rs2 = Reg.t0; offset = 8 });
+        Li (Reg.a7, 5);
+        I Ecall;
+      ]
+
+let () =
+  step "Boot: one functional core + physical memory + security monitor";
+  let mem = Phys_mem.create ~size_bytes:geometry.Addr.dram_bytes in
+  let core = Fsim.create ~mem ~hartid:0 () in
+  let monitor = Monitor.create ~mem ~cores:[| core |] ~geometry () in
+  Printf.printf "  monitor owns region 0; the OS owns the other %d regions\n"
+    (List.length (Region.owned_by (Monitor.regions monitor) Region.Os));
+
+  step "OS proposes an enclave over DRAM regions 8 and 9";
+  let id =
+    match
+      Monitor.create_enclave monitor ~evbase:(Int64.of_int evbase)
+        ~evsize:0x2000L ~entry:(Int64.of_int evbase) ~regions:[ 8; 9 ]
+    with
+    | Ok id -> id
+    | Error _ -> failwith "create_enclave failed"
+  in
+  Printf.printf "  enclave %d created; regions scrubbed and transferred\n" id;
+  (* A second enclave overlapping region 9 must be rejected. *)
+  (match
+     Monitor.create_enclave monitor ~evbase:(Int64.of_int evbase)
+       ~evsize:0x1000L ~entry:(Int64.of_int evbase) ~regions:[ 9 ]
+   with
+  | Error Monitor.E_overlap ->
+    Printf.printf "  (overlapping allocation correctly rejected)\n"
+  | _ -> failwith "overlap should have been rejected");
+
+  step "Monitor loads and measures the enclave pages";
+  let code = Asm.to_bytes enclave_program in
+  let data = String.init 8 (fun i -> if i = 0 then '\x06' else '\x00') in
+  (match Monitor.load_page monitor id ~vaddr:(Int64.of_int evbase) ~contents:code with
+  | Ok () -> ()
+  | Error _ -> failwith "load code");
+  (match
+     Monitor.load_page monitor id
+       ~vaddr:(Int64.of_int (evbase + 0x1000))
+       ~contents:data
+   with
+  | Ok () -> ()
+  | Error _ -> failwith "load data");
+  let measurement =
+    match Monitor.seal monitor id with
+    | Ok m -> m
+    | Error _ -> failwith "seal"
+  in
+  Printf.printf "  measurement = %s\n" (Sha256.to_hex measurement);
+
+  step "Enter: purge, install private page table + region mask, drop to U-mode";
+  let st = Fsim.state core in
+  Cpu_state.set_mode st Priv.Supervisor;
+  Cpu_state.set_pc st 0x02000000L (* OS resume point, region 1 *);
+  (match Monitor.enter monitor ~core:0 id with
+  | Ok () -> ()
+  | Error _ -> failwith "enter");
+  Printf.printf "  purges so far on core 0: %d (entry purge)\n"
+    (Monitor.purges monitor ~core:0);
+
+  step "Run the enclave to completion";
+  let steps =
+    Fsim.run core ~max_steps:1_000 ~until:(fun _ ->
+        Monitor.current_domain monitor ~core:0 = Mailbox.To_os)
+  in
+  Printf.printf "  enclave ran %d instructions and exited cleanly (a0=%Ld)\n"
+    steps
+    (Cpu_state.get_reg st Reg.a0);
+  Printf.printf "  purges so far: %d (exit purge erases side effects)\n"
+    (Monitor.purges monitor ~core:0);
+  (* 6 * 7 = 42 now lives in the enclave's private memory. *)
+  let region8 = Addr.region_base geometry 8 in
+  let found = ref false in
+  for page = 0 to 16 do
+    if Phys_mem.read_u64 mem (region8 + (page * 4096) + 8) = 42L then
+      found := true
+  done;
+  Printf.printf "  result 42 found in enclave-private memory: %b\n" !found;
+
+  step "Remote attestation";
+  let challenge = "verifier-nonce-123" in
+  let report =
+    match Monitor.attest monitor id ~challenge ~report_data:"session-pubkey" with
+    | Ok r -> r
+    | Error _ -> failwith "attest"
+  in
+  let accepted =
+    Attestation.verify
+      ~platform_key:(Monitor.platform_key monitor)
+      ~expected_measurement:measurement ~challenge report
+  in
+  Printf.printf "  verifier accepts the report: %b\n" accepted;
+
+  step "Messaging through the monitor (the only cross-domain channel)";
+  ignore
+    (Monitor.send_msg monitor ~from_:Mailbox.To_os ~to_:(Mailbox.To_enclave id)
+       "hello enclave");
+  (match Monitor.recv_msg monitor ~me:(Mailbox.To_enclave id) with
+  | Some (Mailbox.To_os, msg) -> Printf.printf "  enclave received: %S\n" msg
+  | _ -> failwith "message lost");
+
+  step "Destroy: scrub regions, return them to the OS";
+  (match Monitor.destroy monitor id with
+  | Ok () -> ()
+  | Error _ -> failwith "destroy");
+  Printf.printf "  enclave state: %s; region 8 owner back to OS: %b\n"
+    (Monitor.enclave_state_name monitor id)
+    (Region.owner (Monitor.regions monitor) 8 = Region.Os);
+  print_endline "\nquickstart: OK"

@@ -1,0 +1,1 @@
+lib/cache/index.ml: Addr

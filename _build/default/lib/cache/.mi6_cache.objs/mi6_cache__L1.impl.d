@@ -1,0 +1,1 @@
+lib/cache/l1.ml: Array Fifo Link List Msg Msi Queue Replacement Sram Stats

@@ -1,0 +1,1 @@
+lib/cache/l1.mli: Link Msi Stats

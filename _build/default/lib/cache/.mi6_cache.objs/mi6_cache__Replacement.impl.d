@@ -1,0 +1,1 @@
+lib/cache/replacement.ml: Array Int64

@@ -1,0 +1,28 @@
+type kind =
+  | Flat
+  | Partitioned of { region_bits : int; geometry : Addr.regions }
+
+type t = { set_bits : int; kind : kind }
+
+let flat ~set_bits = { set_bits; kind = Flat }
+
+let partitioned ~set_bits ~region_bits ~geometry =
+  if region_bits > set_bits then
+    invalid_arg "Index.partitioned: region_bits exceeds set_bits";
+  { set_bits; kind = Partitioned { region_bits; geometry } }
+
+let sets t = 1 lsl t.set_bits
+
+let index t ~line =
+  match t.kind with
+  | Flat -> line land ((1 lsl t.set_bits) - 1)
+  | Partitioned { region_bits; geometry } ->
+    let low_bits = t.set_bits - region_bits in
+    let region = Addr.region_of geometry (line * Addr.line_bytes) in
+    let r_low = region land ((1 lsl region_bits) - 1) in
+    (r_low lsl low_bits) lor (line land ((1 lsl low_bits) - 1))
+
+(* Storing the whole line number as tag is redundant with the index bits
+   but keeps both index functions correct without per-function tag
+   arithmetic. *)
+let tag _t ~line = line

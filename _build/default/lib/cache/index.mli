@@ -1,0 +1,29 @@
+(** LLC set-index functions (paper Sections 5.2 and 7.2).
+
+    - [Flat]: the baseline index, the low set-index bits of the cache-line
+      number ([A[9:0]] for the 1 MB, 1024-set LLC).
+    - [Partitioned]: MI6's set-partitioned index — the high bits of the
+      baseline index are replaced by the low bits of the DRAM-region ID, so
+      each group of DRAM regions maps to a private slice of cache sets:
+      [{R[k-1:0], A[set_bits-k-1:0]}]. *)
+
+type t
+
+(** [flat ~set_bits] indexes with the low [set_bits] bits of the line
+    number. *)
+val flat : set_bits:int -> t
+
+(** [partitioned ~set_bits ~region_bits ~geometry] replaces the top
+    [region_bits] of the flat index with the low bits of the DRAM-region
+    ID.  Raises [Invalid_argument] if [region_bits > set_bits]. *)
+val partitioned : set_bits:int -> region_bits:int -> geometry:Addr.regions -> t
+
+val sets : t -> int
+
+(** [index t ~line] is the set for cache-line number [line] (byte address
+    / 64). *)
+val index : t -> line:int -> int
+
+(** [tag t ~line] is the tag to store: the line number itself works as a
+    (redundant but simple) tag for both functions. *)
+val tag : t -> line:int -> int

@@ -1,0 +1,1 @@
+lib/coherence/link.ml: Fifo Msg

@@ -1,0 +1,1 @@
+lib/coherence/link.mli: Fifo Msg

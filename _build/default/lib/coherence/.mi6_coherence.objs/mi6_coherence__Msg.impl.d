@@ -1,0 +1,1 @@
+lib/coherence/msg.ml: Format Msi

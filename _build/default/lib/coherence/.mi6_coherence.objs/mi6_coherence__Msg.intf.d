@@ -1,0 +1,1 @@
+lib/coherence/msg.mli: Format Msi

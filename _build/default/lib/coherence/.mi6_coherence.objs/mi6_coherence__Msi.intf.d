@@ -1,0 +1,1 @@
+lib/coherence/msi.mli: Format

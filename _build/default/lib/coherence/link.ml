@@ -1,0 +1,17 @@
+type t = {
+  rq : Msg.child_req Fifo.t;
+  rs : Msg.child_resp Fifo.t;
+  p2c : Msg.parent_msg Fifo.t;
+}
+
+let create ~depth =
+  {
+    rq = Fifo.create ~capacity:depth;
+    rs = Fifo.create ~capacity:depth;
+    p2c = Fifo.create ~capacity:depth;
+  }
+
+let clear t =
+  Fifo.clear t.rq;
+  Fifo.clear t.rs;
+  Fifo.clear t.p2c

@@ -1,0 +1,18 @@
+(** The dedicated core-to-LLC link of Figure 1: three independent bounded
+    FIFOs.  Upgrade requests and downgrade responses never block each other
+    (required for deadlock freedom), and parent-to-child traffic has its
+    own channel. *)
+
+type t = {
+  rq : Msg.child_req Fifo.t;  (** child -> parent upgrade requests *)
+  rs : Msg.child_resp Fifo.t;  (** child -> parent downgrade responses *)
+  p2c : Msg.parent_msg Fifo.t;  (** parent -> child *)
+}
+
+(** [create ~depth] makes a link whose three FIFOs each hold [depth]
+    messages. *)
+val create : depth:int -> t
+
+(** [clear t] empties all three FIFOs (used only by whole-machine reset,
+    never by purge: in-flight coherence traffic must drain naturally). *)
+val clear : t -> unit

@@ -1,0 +1,21 @@
+(** Coherence messages exchanged between an L1 (child) and the LLC
+    (parent), matching the link structure of Figure 1: three independent
+    FIFOs carrying (1) upgrade requests from the L1, (2) downgrade
+    responses from the L1, and (3) upgrade responses and downgrade requests
+    from the LLC. *)
+
+(** Child-to-parent upgrade request: acquire [to_s] for [line]. *)
+type child_req = { line : int; from_s : Msi.t; to_s : Msi.t }
+
+(** Child-to-parent downgrade response: the child dropped [line] to
+    [to_s]; [dirty] means the message carries writeback data. *)
+type child_resp = { line : int; to_s : Msi.t; dirty : bool }
+
+(** Parent-to-child messages share one FIFO. *)
+type parent_msg =
+  | Upgrade_resp of { line : int; to_s : Msi.t }
+  | Downgrade_req of { line : int; to_s : Msi.t }
+
+val pp_child_req : Format.formatter -> child_req -> unit
+val pp_child_resp : Format.formatter -> child_resp -> unit
+val pp_parent_msg : Format.formatter -> parent_msg -> unit

@@ -1,0 +1,16 @@
+type t = I | S | M
+
+let rank = function I -> 0 | S -> 1 | M -> 2
+let leq a b = rank a <= rank b
+let lt a b = rank a < rank b
+
+let compatible held requested =
+  match (held, requested) with
+  | I, _ | _, I -> true
+  | S, S -> true
+  | M, _ | _, M -> false
+
+let needed_for ~store = if store then M else S
+
+let to_string = function I -> "I" | S -> "S" | M -> "M"
+let pp ppf s = Format.pp_print_string ppf (to_string s)

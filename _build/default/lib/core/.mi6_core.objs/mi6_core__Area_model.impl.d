@@ -1,0 +1,1 @@
+lib/core/area_model.ml: List

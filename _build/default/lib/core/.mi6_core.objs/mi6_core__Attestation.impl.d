@@ -1,0 +1,1 @@
+lib/core/attestation.ml: Char Hmac Sha256 String

@@ -1,0 +1,1 @@
+lib/core/attestation.mli: Sha256

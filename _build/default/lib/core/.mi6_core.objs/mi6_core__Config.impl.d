@@ -1,0 +1,1 @@
+lib/core/config.ml: Addr Core_config Index L1 List Llc String

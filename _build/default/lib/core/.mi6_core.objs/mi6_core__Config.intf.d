@@ -1,0 +1,1 @@
+lib/core/config.mli: Core_config L1 Llc

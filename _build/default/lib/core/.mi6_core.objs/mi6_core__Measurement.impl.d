@@ -1,0 +1,1 @@
+lib/core/measurement.ml: Char Int64 Sha256 String

@@ -1,0 +1,1 @@
+lib/core/measurement.mli: Sha256

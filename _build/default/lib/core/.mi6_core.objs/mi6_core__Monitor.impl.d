@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Addr Array Attestation Buffer Char Cpu_state Csr Fsim Hashtbl Int64 List Mailbox Measurement Page_table Phys_mem Priv Reg Region Sha256 String

@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Addr Attestation Fsim Mailbox Phys_mem Region Sha256 Stdlib

@@ -1,0 +1,1 @@
+lib/core/noninterference.ml: Addr Fr_fcfs Hierarchy Index List Llc Stats

@@ -1,0 +1,1 @@
+lib/core/noninterference.mli: Index Llc

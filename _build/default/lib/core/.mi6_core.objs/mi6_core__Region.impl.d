@@ -1,0 +1,1 @@
+lib/core/region.ml: Addr Array Int64 List

@@ -1,0 +1,1 @@
+lib/core/tmachine.ml: Addr Array Config Controller Core L1 Link Llc Mi6_workload Option Printf Stats

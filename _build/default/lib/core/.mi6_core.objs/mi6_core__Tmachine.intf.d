@@ -1,0 +1,1 @@
+lib/core/tmachine.mli: Config Core Mi6_workload Stats Uop

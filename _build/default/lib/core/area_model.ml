@@ -1,0 +1,69 @@
+type component = {
+  name : string;
+  base_bits : int;
+  mi6_extra_bits : int;
+}
+
+(* Figure 4 structures, excluding the SRAM-heavy arrays the paper also
+   excludes (L1/LLC data+tag arrays, FPU).  Sizes in state bits; control
+   logic is approximated as a fraction of datapath state, uniformly for
+   both machines, so it cancels in the ratio and is omitted. *)
+let components ~cores =
+  let per_core =
+    [
+      (* Rename and window state. *)
+      ("ROB (80 x ~70b bookkeeping)", 80 * 70, 0);
+      ("rename map + free list (128 phys)", (32 * 7) + (128 * 8), 0);
+      ("issue queues (4 x 16 x ~40b)", 4 * 16 * 40, 0);
+      ("LQ/SQ/SB (24+14+4 x ~90b)", (24 + 14 + 4) * 90, 0);
+      (* Predictors. *)
+      ("tournament predictor (local 1024x10+1024x3, global 4096x2, choice 4096x2)",
+       (1024 * 10) + (1024 * 3) + (4096 * 2) + (4096 * 2), 0);
+      ("BTB (256 x ~60b)", 256 * 60, 0);
+      ("RAS (8 x 48b)", 8 * 48, 0);
+      (* TLBs (tag+data flops/regfiles, not big SRAMs). *)
+      ("L1 I/D TLBs (2 x 32 x ~100b)", 2 * 32 * 100, 0);
+      ("L2 TLB (1024 x ~80b)", 1024 * 80, 0);
+      ("translation cache (2 x 24 x ~70b)", 2 * 24 * 70, 0);
+      (* L1 control (MSHRs, not arrays). *)
+      ("L1 MSHRs (2 x 8 x ~80b)", 2 * 8 * 80, 0);
+      (* MI6 per-core additions. *)
+      ("mregions CSR + region comparators", 0, 64 + 128);
+      ("mfetchbase/mfetchmask/mspec CSRs", 0, 64 + 64 + 8);
+      ("purge sequencer (flush cursors + FSM)", 0, 64);
+      ("TLB region-permission bits (cached check)", 0, (2 * 32) + 1024);
+    ]
+  in
+  let llc =
+    [
+      (* LLC control state (arrays excluded). *)
+      ("LLC MSHRs (16 x ~120b)", 16 * 120, 0);
+      ("LLC UQ/DQ indices (2 x 16 x 4b)", 2 * 16 * 4, 0);
+      ("LLC directory-op pipeline regs (~4 x 80b)", 4 * 80, 0);
+      (* MI6 LLC additions: the UQ split is free (same total entries,
+         Section 5.4.4); the retry bit, arbiter, and duplicated
+         Downgrade-L1 scan comparators are the real additions. *)
+      ("MSHR retry bits", 0, 16);
+      ("round-robin arbiter counter + per-core input merge", 0, 8 + (cores * 16));
+      ("duplicated Downgrade-L1 scanners (comparator-equiv)", 0, cores * 64);
+    ]
+  in
+  List.map
+    (fun (name, b, e) ->
+      { name; base_bits = b * cores; mi6_extra_bits = e * cores })
+    per_core
+  @ List.map (fun (name, b, e) -> { name; base_bits = b; mi6_extra_bits = e }) llc
+
+type summary = { base_bits : int; extra_bits : int; percent : float }
+
+let summary ~cores =
+  let cs = components ~cores in
+  let base = List.fold_left (fun a (c : component) -> a + c.base_bits) 0 cs in
+  let extra =
+    List.fold_left (fun a (c : component) -> a + c.mi6_extra_bits) 0 cs
+  in
+  {
+    base_bits = base;
+    extra_bits = extra;
+    percent = 100.0 *. float_of_int extra /. float_of_int base;
+  }

@@ -1,0 +1,25 @@
+(** Structural area model (substituting bit-counting for the paper's FPGA
+    synthesis — see DESIGN.md).
+
+    The paper reports that F+P+M+A is about 2% larger than BASE, with
+    SRAM-heavy blocks (LLC arrays, L1 arrays, FPUs) excluded from the
+    accounting and no loss of clock frequency.  This model counts the
+    state bits of the remaining structures in both machines and the extra
+    state/logic MI6 adds: the per-core [mregions]/[mfetchbase]/
+    [mfetchmask]/[mspec] CSRs and region comparators, per-MSHR retry bits,
+    the round-robin arbiter counter, duplicated Downgrade-L1 scanners
+    (expressed as comparator-equivalent bits), and the purge sequencer. *)
+
+type component = {
+  name : string;
+  base_bits : int;  (** bits in the BASE machine *)
+  mi6_extra_bits : int;  (** additional bits in the MI6 machine *)
+}
+
+(** [components ~cores] — per-component accounting, SRAM-array blocks
+    excluded exactly as in the paper's synthesis report. *)
+val components : cores:int -> component list
+
+type summary = { base_bits : int; extra_bits : int; percent : float }
+
+val summary : cores:int -> summary

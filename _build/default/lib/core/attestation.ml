@@ -1,0 +1,32 @@
+type report = {
+  measurement : Sha256.digest;
+  challenge : string;
+  report_data : string;
+  tag : string;
+}
+
+let le32 v =
+  String.init 4 (fun i -> Char.chr ((v lsr (8 * i)) land 0xFF))
+
+(* Length-prefixed concatenation prevents field-boundary ambiguity. *)
+let message ~measurement ~challenge ~report_data =
+  String.concat ""
+    [
+      "mi6-attest-v1";
+      le32 (String.length measurement); measurement;
+      le32 (String.length challenge); challenge;
+      le32 (String.length report_data); report_data;
+    ]
+
+let sign ~platform_key ~measurement ~challenge ~report_data =
+  let tag =
+    Hmac.mac ~key:platform_key (message ~measurement ~challenge ~report_data)
+  in
+  { measurement; challenge; report_data; tag }
+
+let verify ~platform_key ~expected_measurement ~challenge r =
+  String.equal r.challenge challenge
+  && String.equal r.measurement expected_measurement
+  && Hmac.verify ~key:platform_key ~tag:r.tag
+       (message ~measurement:r.measurement ~challenge:r.challenge
+          ~report_data:r.report_data)

@@ -1,0 +1,34 @@
+(** Remote attestation (substituting HMAC-SHA-256 under a platform root
+    key for the asymmetric signatures of the Sanctum attestation chain —
+    see DESIGN.md).
+
+    The verifier sends a fresh [challenge]; the enclave asks the monitor
+    for a report over (measurement, challenge, report_data); the verifier
+    recomputes the MAC with the shared platform key and checks both the
+    tag and the expected measurement. *)
+
+type report = {
+  measurement : Sha256.digest;
+  challenge : string;
+  report_data : string;  (** enclave-chosen binding, e.g. a public key *)
+  tag : string;
+}
+
+(** [sign ~platform_key ~measurement ~challenge ~report_data] — monitor
+    side. *)
+val sign :
+  platform_key:string ->
+  measurement:Sha256.digest ->
+  challenge:string ->
+  report_data:string ->
+  report
+
+(** [verify ~platform_key ~expected_measurement ~challenge report] —
+    verifier side; checks tag, challenge freshness (equality), and
+    measurement. *)
+val verify :
+  platform_key:string ->
+  expected_measurement:Sha256.digest ->
+  challenge:string ->
+  report ->
+  bool

@@ -1,0 +1,43 @@
+(** The seven processor variants of the paper's evaluation (Section 7) and
+    the full MI6 secure configuration.
+
+    - [Base]: insecure RiscyOO baseline (Figure 4).
+    - [Flush]: + purge of all per-core microarchitectural state on every
+      trap entry and trap return (Section 7.1).
+    - [Part]: + LLC set partitioning, i.e. the index function becomes
+      [{R[1:0], A[7:0]}] (Section 7.2).
+    - [Miss]: + LLC MSHRs reduced from 16 to 12 and sliced into 4 banks,
+      with the paper's pessimistic whole-file bank stall (Section 7.3).
+    - [Arb]: + 8 extra cycles of LLC pipeline latency, modeling the
+      round-robin arbiter of a 16-core machine (Section 7.4).
+    - [Nonspec]: memory instructions rename only on an empty ROB
+      (Section 7.5).
+    - [Fpma]: Flush + Part + Miss + Arb (Section 7.6) — the enclave cost.
+
+    [secure_multicore] is the real MI6 machine configuration used by the
+    multicore isolation tests: every Figure 3 LLC structure enabled, plus
+    flush-on-trap cores. *)
+
+type variant = Base | Flush | Part | Miss | Arb | Nonspec | Fpma
+
+val all_variants : variant list
+val variant_name : variant -> string
+val variant_of_name : string -> variant option
+
+type timing = {
+  core : Core_config.t;
+  l1 : L1.config;
+  llc : Llc.config;
+  llc_security : Llc.security;
+  dram_latency : int;
+  dram_outstanding : int;
+}
+
+(** [timing ~cores variant] — the single-core evaluation methodology uses
+    [cores = 1] link pairs; the LLC sees [2 * cores] ports (I and D per
+    core). *)
+val timing : cores:int -> variant -> timing
+
+(** Full MI6 machine (Figure 3 structures + purge-on-trap cores), for
+    [cores] cores. *)
+val secure_multicore : cores:int -> timing

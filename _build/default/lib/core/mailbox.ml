@@ -1,0 +1,16 @@
+type endpoint = To_os | To_enclave of int
+
+type t = { q : (endpoint * string) Fifo.t }
+
+let create ?(capacity = 8) () = { q = Fifo.create ~capacity }
+
+let send t ~from_ msg =
+  if Fifo.can_enq t.q then begin
+    Fifo.enq t.q (from_, msg);
+    true
+  end
+  else false
+
+let recv t = if Fifo.can_deq t.q then Some (Fifo.deq t.q) else None
+let pending t = Fifo.length t.q
+let clear t = Fifo.clear t.q

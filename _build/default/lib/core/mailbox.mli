@@ -1,0 +1,24 @@
+(** Monitor-mediated inter-domain messaging (Section 6.1): the only
+    communication channel between protection domains.  A sender asks the
+    monitor to copy a message into a pre-allocated buffer in the receiving
+    domain; no memory is ever shared, which closes the shared-memory
+    timing channels that SGX/Sanctum-style shared pages reopen.
+
+    Each domain owns one mailbox with a bounded queue; sends to a full
+    mailbox fail (the sender is told — no blocking, no back-channel via
+    blocking time beyond the architectural API). *)
+
+type endpoint = To_os | To_enclave of int
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+(** [send t ~from_ msg] — [false] when the box is full. *)
+val send : t -> from_:endpoint -> string -> bool
+
+(** [recv t] — oldest (sender, message), if any. *)
+val recv : t -> (endpoint * string) option
+
+val pending : t -> int
+val clear : t -> unit

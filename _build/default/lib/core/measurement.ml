@@ -1,0 +1,30 @@
+type t = { ctx : Sha256.ctx; mutable final : Sha256.digest option }
+
+let le64 v =
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
+
+let start ~evbase ~evsize ~entry =
+  let ctx = Sha256.init () in
+  Sha256.feed ctx "mi6-enclave-v1";
+  Sha256.feed ctx (le64 evbase);
+  Sha256.feed ctx (le64 evsize);
+  Sha256.feed ctx (le64 entry);
+  { ctx; final = None }
+
+let check_open t =
+  if t.final <> None then invalid_arg "Measurement: already finalized"
+
+let add_page t ~vaddr ~contents =
+  check_open t;
+  Sha256.feed t.ctx "page";
+  Sha256.feed t.ctx (le64 vaddr);
+  Sha256.feed t.ctx contents
+
+let finalize t =
+  check_open t;
+  let d = Sha256.finalize t.ctx in
+  t.final <- Some d;
+  d
+
+let is_finalized t = t.final <> None

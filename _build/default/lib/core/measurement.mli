@@ -1,0 +1,17 @@
+(** Enclave measurement (Sanctum-style, via [36] in the paper): a running
+    SHA-256 over the enclave's configuration and loaded contents, in load
+    order.  Equal measurements mean identical initial enclave state, which
+    is what attestation proves to a remote verifier. *)
+
+type t
+
+val start : evbase:int64 -> evsize:int64 -> entry:int64 -> t
+
+(** [add_page m ~vaddr ~contents] extends the measurement with a page
+    binding. *)
+val add_page : t -> vaddr:int64 -> contents:string -> unit
+
+(** [finalize m] seals and returns the 32-byte measurement. *)
+val finalize : t -> Sha256.digest
+
+val is_finalized : t -> bool

@@ -1,0 +1,555 @@
+type enclave_id = int
+
+type error = E_invalid | E_overlap | E_state | E_unknown | E_full
+
+let error_code = function
+  | E_invalid -> -1L
+  | E_overlap -> -2L
+  | E_state -> -3L
+  | E_unknown -> -4L
+  | E_full -> -5L
+
+type enclave_state = Loading | Sealed | Running of int | Dead
+
+type enclave = {
+  id : enclave_id;
+  evbase : int64;
+  evsize : int64;
+  entry : int64;
+  e_regions : int list;
+  meas : Measurement.t;
+  mutable measurement : Sha256.digest option;
+  mutable state : enclave_state;
+  pt_root : int;
+  mutable alloc_cursor : int; (* index into the enclave's page pool *)
+  mailbox : Mailbox.t;
+}
+
+(* Saved architectural context for a descheduled domain. *)
+type context = {
+  c_regs : int64 array;
+  c_pc : int64;
+  c_mode : Priv.mode;
+  c_satp : int64;
+  c_mregions : int64;
+  c_mstatus : int64;
+}
+
+type t = {
+  mem : Phys_mem.t;
+  cores : Fsim.t array;
+  ledger : Region.t;
+  platform_key : string;
+  enclaves : (enclave_id, enclave) Hashtbl.t;
+  mutable next_id : enclave_id;
+  os_mailbox : Mailbox.t;
+  (* Per-core: which domain runs, and the saved OS context while an
+     enclave occupies the core. *)
+  domain : Mailbox.endpoint array;
+  saved_os : context option array;
+  purge_count : int array;
+  mutable purge_hooks : (core:int -> unit) list;
+  mutable scrub_hooks : (int list -> unit) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Context switching helpers                                           *)
+(* ------------------------------------------------------------------ *)
+
+let save_context st =
+  {
+    c_regs = Array.init 32 (fun r -> Cpu_state.get_reg st r);
+    c_pc = Cpu_state.pc st;
+    c_mode = Cpu_state.mode st;
+    c_satp = Cpu_state.csr_raw st Csr.satp;
+    c_mregions = Cpu_state.csr_raw st Csr.mregions;
+    c_mstatus = Cpu_state.csr_raw st Csr.mstatus;
+  }
+
+let restore_context st c =
+  Array.iteri (fun r v -> Cpu_state.set_reg st r v) c.c_regs;
+  Cpu_state.set_pc st c.c_pc;
+  Cpu_state.set_mode st c.c_mode;
+  Cpu_state.set_csr_raw st Csr.satp c.c_satp;
+  Cpu_state.set_csr_raw st Csr.mregions c.c_mregions;
+  Cpu_state.set_csr_raw st Csr.mstatus c.c_mstatus
+
+let purge t ~core =
+  t.purge_count.(core) <- t.purge_count.(core) + 1;
+  List.iter (fun f -> f ~core) t.purge_hooks
+
+(* After any region-ownership change, cores running the OS must see the
+   OS's updated permission vector (paired with a TLB shootdown so stale
+   translations cannot outlive the policy — the purge hook consumers flush
+   timing-model TLBs). *)
+let refresh_os_permissions t =
+  let mask = Region.perm_mask t.ledger Region.Os in
+  Array.iteri
+    (fun core fsim ->
+      if t.domain.(core) = Mailbox.To_os then
+        Cpu_state.set_csr_raw (Fsim.state fsim) Csr.mregions mask)
+    t.cores
+
+(* ------------------------------------------------------------------ *)
+(* Enclave memory management                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pages_per_region g = g.Addr.region_bytes / Addr.page_bytes
+
+(* The enclave's page pool: all pages of its regions, in region order.
+   Page 0 holds the root page table. *)
+let pool_page t e i =
+  let g = Region.geometry t.ledger in
+  let per = pages_per_region g in
+  let region = List.nth e.e_regions (i / per) in
+  Addr.region_base g region + (Addr.page_bytes * (i mod per))
+
+let pool_size t e =
+  List.length e.e_regions * pages_per_region (Region.geometry t.ledger)
+
+let alloc_page t e =
+  if e.alloc_cursor >= pool_size t e then None
+  else begin
+    let p = pool_page t e e.alloc_cursor in
+    e.alloc_cursor <- e.alloc_cursor + 1;
+    Some p
+  end
+
+let scrub_regions t regions =
+  let g = Region.geometry t.ledger in
+  List.iter
+    (fun r ->
+      Phys_mem.zero_range t.mem (Addr.region_base g r) g.Addr.region_bytes)
+    regions;
+  List.iter (fun f -> f regions) t.scrub_hooks
+
+(* ------------------------------------------------------------------ *)
+(* Lookup helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let find t id =
+  match Hashtbl.find_opt t.enclaves id with
+  | Some e when e.state <> Dead -> Ok e
+  | _ -> Error E_unknown
+
+let mailbox_of t = function
+  | Mailbox.To_os -> Some t.os_mailbox
+  | Mailbox.To_enclave id -> (
+    match find t id with Ok e -> Some e.mailbox | Error _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* SM calls                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let create_enclave t ~evbase ~evsize ~entry ~regions =
+  let page = Int64.of_int Addr.page_bytes in
+  if
+    evsize <= 0L
+    || Int64.rem evbase page <> 0L
+    || Int64.rem evsize page <> 0L
+    || Int64.compare entry evbase < 0
+    || Int64.compare entry (Int64.add evbase evsize) >= 0
+  then Error E_invalid
+  else if
+    not (Region.transfer t.ledger ~regions ~from_:Region.Os
+           ~to_:(Region.Enclave t.next_id))
+  then Error E_overlap
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    (* Scrub before use: the OS may hand over dirty memory. *)
+    scrub_regions t regions;
+    refresh_os_permissions t;
+    let e =
+      {
+        id;
+        evbase;
+        evsize;
+        entry;
+        e_regions = regions;
+        meas = Measurement.start ~evbase ~evsize ~entry;
+        measurement = None;
+        state = Loading;
+        pt_root = Addr.region_base (Region.geometry t.ledger) (List.hd regions);
+        alloc_cursor = 1 (* page 0 = root page table *);
+        mailbox = Mailbox.create ();
+      }
+    in
+    Hashtbl.add t.enclaves id e;
+    Ok id
+  end
+
+let load_page t id ~vaddr ~contents =
+  match find t id with
+  | Error e -> Error e
+  | Ok e ->
+    if e.state <> Loading then Error E_state
+    else if
+      Int64.rem vaddr (Int64.of_int Addr.page_bytes) <> 0L
+      || Int64.compare vaddr e.evbase < 0
+      || Int64.compare vaddr (Int64.add e.evbase e.evsize) >= 0
+      || String.length contents > Addr.page_bytes
+    then Error E_invalid
+    else begin
+      match alloc_page t e with
+      | None -> Error E_full
+      | Some paddr ->
+        let padded =
+          contents ^ String.make (Addr.page_bytes - String.length contents) '\x00'
+        in
+        Phys_mem.load_string t.mem paddr padded;
+        (* Page-table pages come from the same pool. *)
+        let alloc () =
+          match alloc_page t e with
+          | Some p -> p
+          | None -> failwith "Monitor: enclave out of page-table pages"
+        in
+        Page_table.map_page t.mem ~alloc ~root:e.pt_root ~vaddr ~paddr
+          ~perm:(Page_table.perm_user Page_table.perm_rwx);
+        Measurement.add_page e.meas ~vaddr ~contents:padded;
+        Ok ()
+    end
+
+let seal t id =
+  match find t id with
+  | Error e -> Error e
+  | Ok e ->
+    if e.state <> Loading then Error E_state
+    else begin
+      let d = Measurement.finalize e.meas in
+      e.measurement <- Some d;
+      e.state <- Sealed;
+      Ok d
+    end
+
+let enter t ~core id =
+  match find t id with
+  | Error e -> Error e
+  | Ok e -> (
+    match e.state with
+    | Sealed -> (
+      match t.domain.(core) with
+      | Mailbox.To_enclave _ -> Error E_state
+      | Mailbox.To_os ->
+        let st = Fsim.state t.cores.(core) in
+        t.saved_os.(core) <- Some (save_context st);
+        (* Purge on schedule: pristine microarchitectural environment. *)
+        purge t ~core;
+        e.state <- Running core;
+        t.domain.(core) <- Mailbox.To_enclave id;
+        Cpu_state.set_csr_raw st Csr.satp
+          (Int64.logor (Int64.shift_left 8L 60)
+             (Int64.of_int (e.pt_root / Addr.page_bytes)));
+        Cpu_state.set_csr_raw st Csr.mregions
+          (Region.perm_mask t.ledger (Region.Enclave id));
+        Cpu_state.set_mode st Priv.User;
+        Cpu_state.set_pc st e.entry;
+        Ok ())
+    | Loading | Running _ | Dead -> Error E_state)
+
+(* Common deschedule path for voluntary exit and async exits. *)
+let deschedule t ~core ~resume_os_with =
+  match t.domain.(core) with
+  | Mailbox.To_os -> Error E_state
+  | Mailbox.To_enclave id -> (
+    match find t id with
+    | Error e -> Error e
+    | Ok e ->
+      (* Purge on deschedule: erase side effects of enclave execution. *)
+      purge t ~core;
+      e.state <- Sealed;
+      t.domain.(core) <- Mailbox.To_os;
+      let st = Fsim.state t.cores.(core) in
+      (match t.saved_os.(core) with
+      | Some c ->
+        restore_context st c;
+        t.saved_os.(core) <- None
+      | None -> failwith "Monitor: no saved OS context");
+      (* The OS sees only the SM-call return value (never fault
+         addresses). *)
+      Cpu_state.set_reg st Reg.a0 resume_os_with;
+      Ok ())
+
+let exit_enclave t ~core = deschedule t ~core ~resume_os_with:0L
+
+let destroy t id =
+  match find t id with
+  | Error e -> Error e
+  | Ok e -> (
+    match e.state with
+    | Running _ -> Error E_state
+    | Loading | Sealed ->
+      (* Scrub before the regions return to the OS, and purge cached
+         translations system-wide (TLB shootdown is modeled by the purge
+         hook consumers). *)
+      scrub_regions t e.e_regions;
+      ignore
+        (Region.transfer t.ledger ~regions:e.e_regions
+           ~from_:(Region.Enclave id) ~to_:Region.Os);
+      refresh_os_permissions t;
+      e.state <- Dead;
+      Ok ()
+    | Dead -> Error E_unknown)
+
+let attest t id ~challenge ~report_data =
+  match find t id with
+  | Error e -> Error e
+  | Ok e -> (
+    match e.measurement with
+    | None -> Error E_state
+    | Some m ->
+      Ok
+        (Attestation.sign ~platform_key:t.platform_key ~measurement:m
+           ~challenge ~report_data))
+
+let send_msg t ~from_ ~to_ msg =
+  match mailbox_of t to_ with
+  | None -> false
+  | Some box -> Mailbox.send box ~from_ msg
+
+let recv_msg t ~me =
+  match mailbox_of t me with None -> None | Some box -> Mailbox.recv box
+
+let measurement t id =
+  match find t id with
+  | Error e -> Error e
+  | Ok e -> (
+    match e.measurement with None -> Error E_state | Some m -> Ok m)
+
+let enclave_state_name t id =
+  match Hashtbl.find_opt t.enclaves id with
+  | None -> "unknown"
+  | Some e -> (
+    match e.state with
+    | Loading -> "loading"
+    | Sealed -> "sealed"
+    | Running _ -> "running"
+    | Dead -> "dead")
+
+(* ------------------------------------------------------------------ *)
+(* Firmware: the ecall ABI and trap interposition                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Translate an enclave virtual address for monitor-mediated copies. *)
+let enclave_translate t e vaddr =
+  ignore t;
+  fun mem ->
+    match Page_table.walk mem ~root:e.pt_root ~vaddr with
+    | Page_table.Translated (leaf, _) -> Some leaf.Page_table.paddr
+    | Page_table.Fault _ -> None
+
+let read_enclave_bytes t e ~vaddr ~len =
+  let buf = Buffer.create len in
+  let ok = ref true in
+  for i = 0 to len - 1 do
+    if !ok then begin
+      match
+        enclave_translate t e (Int64.add vaddr (Int64.of_int i)) t.mem
+      with
+      | Some pa -> Buffer.add_char buf (Char.chr (Phys_mem.read_u8 t.mem pa))
+      | None -> ok := false
+    end
+  done;
+  if !ok then Some (Buffer.contents buf) else None
+
+let write_enclave_bytes t e ~vaddr data =
+  let ok = ref true in
+  String.iteri
+    (fun i ch ->
+      if !ok then begin
+        match
+          enclave_translate t e (Int64.add vaddr (Int64.of_int i)) t.mem
+        with
+        | Some pa -> Phys_mem.write_u8 t.mem pa (Char.code ch)
+        | None -> ok := false
+      end)
+    data;
+  !ok
+
+let max_msg = 256
+
+let handle_os_ecall t ~core ~epc =
+  let st = Fsim.state t.cores.(core) in
+  let a n = Cpu_state.get_reg st n in
+  let ret v =
+    Cpu_state.set_reg st Reg.a0 v;
+    Cpu_state.set_pc st (Int64.add epc 4L)
+  in
+  let ret_err e = ret (error_code e) in
+  (match Int64.to_int (a Reg.a7) with
+  | 1 ->
+    (* create(evbase, evsize, entry, region_mask) *)
+    let mask = a Reg.a3 in
+    let regions = ref [] in
+    for r = 63 downto 0 do
+      if Int64.logand (Int64.shift_right_logical mask r) 1L = 1L then
+        regions := r :: !regions
+    done;
+    (match
+       create_enclave t ~evbase:(a Reg.a0) ~evsize:(a Reg.a1)
+         ~entry:(a Reg.a2) ~regions:!regions
+     with
+    | Ok id -> ret (Int64.of_int id)
+    | Error e -> ret_err e)
+  | 2 ->
+    (* load_page(id, vaddr, src_paddr): the monitor copies from
+       OS-owned memory. *)
+    let id = Int64.to_int (a Reg.a0) in
+    let src = Int64.to_int (a Reg.a2) in
+    let contents = Phys_mem.read_string t.mem src Addr.page_bytes in
+    (match load_page t id ~vaddr:(a Reg.a1) ~contents with
+    | Ok () -> ret 0L
+    | Error e -> ret_err e)
+  | 3 -> (
+    match seal t (Int64.to_int (a Reg.a0)) with
+    | Ok _ -> ret 0L
+    | Error e -> ret_err e)
+  | 4 -> (
+    (* enter: on success the core now runs the enclave; the OS resumes
+       (at epc+4) only when the enclave exits, with a0 set by the
+       deschedule path.  Stash the resume pc in the saved context. *)
+    Cpu_state.set_pc st (Int64.add epc 4L);
+    match enter t ~core (Int64.to_int (a Reg.a0)) with
+    | Ok () -> ()
+    | Error e -> ret_err e)
+  | 7 ->
+    let dest =
+      match Int64.to_int (a Reg.a0) with
+      | -1 -> Mailbox.To_os
+      | id -> Mailbox.To_enclave id
+    in
+    let len = Int64.to_int (a Reg.a2) in
+    if len < 0 || len > max_msg then ret_err E_invalid
+    else begin
+      let msg = Phys_mem.read_string t.mem (Int64.to_int (a Reg.a1)) len in
+      if send_msg t ~from_:Mailbox.To_os ~to_:dest msg then ret 0L
+      else ret_err E_full
+    end
+  | 8 -> (
+    match recv_msg t ~me:Mailbox.To_os with
+    | None -> ret (-6L) (* empty *)
+    | Some (_, msg) ->
+      Phys_mem.load_string t.mem (Int64.to_int (a Reg.a0)) msg;
+      ret (Int64.of_int (String.length msg)))
+  | 9 -> (
+    match destroy t (Int64.to_int (a Reg.a0)) with
+    | Ok () -> ret 0L
+    | Error e -> ret_err e)
+  | _ -> ret_err E_invalid);
+  true
+
+let handle_enclave_ecall t ~core ~epc e =
+  let st = Fsim.state t.cores.(core) in
+  let a n = Cpu_state.get_reg st n in
+  let ret v =
+    Cpu_state.set_reg st Reg.a0 v;
+    Cpu_state.set_pc st (Int64.add epc 4L)
+  in
+  let ret_err err = ret (error_code err) in
+  (match Int64.to_int (a Reg.a7) with
+  | 5 -> ignore (exit_enclave t ~core)
+  | 6 -> (
+    (* attest(challenge_va[32], data_va[64], out_va[64]): out receives
+       measurement || tag. *)
+    match
+      ( read_enclave_bytes t e ~vaddr:(a Reg.a0) ~len:32,
+        read_enclave_bytes t e ~vaddr:(a Reg.a1) ~len:64 )
+    with
+    | Some challenge, Some report_data -> (
+      match attest t e.id ~challenge ~report_data with
+      | Ok report ->
+        if
+          write_enclave_bytes t e ~vaddr:(a Reg.a2)
+            (report.Attestation.measurement ^ report.Attestation.tag)
+        then ret 0L
+        else ret_err E_invalid
+      | Error err -> ret_err err)
+    | _ -> ret_err E_invalid)
+  | 7 ->
+    let len = Int64.to_int (a Reg.a2) in
+    if len < 0 || len > max_msg then ret_err E_invalid
+    else begin
+      (* Enclaves may only message the OS (all communication is
+         monitor-mediated; enclave-to-enclave goes through the OS,
+         padded by the sender as the paper prescribes). *)
+      match read_enclave_bytes t e ~vaddr:(a Reg.a1) ~len with
+      | Some msg ->
+        if send_msg t ~from_:(Mailbox.To_enclave e.id) ~to_:Mailbox.To_os msg
+        then ret 0L
+        else ret_err E_full
+      | None -> ret_err E_invalid
+    end
+  | 8 -> (
+    match recv_msg t ~me:(Mailbox.To_enclave e.id) with
+    | None -> ret (-6L)
+    | Some (_, msg) ->
+      if write_enclave_bytes t e ~vaddr:(a Reg.a0) msg then
+        ret (Int64.of_int (String.length msg))
+      else ret_err E_invalid)
+  | _ -> ret_err E_invalid);
+  true
+
+let firmware t core _fsim ~cause ~tval ~epc =
+  ignore tval;
+  match t.domain.(core) with
+  | Mailbox.To_os -> (
+    match cause with
+    | Priv.Exception Priv.Ecall_from_s -> handle_os_ecall t ~core ~epc
+    | Priv.Interrupt _ ->
+      (* Forward to the OS as if delegated. *)
+      let st = Fsim.state t.cores.(core) in
+      let handler = Cpu_state.push_trap st ~target:Priv.Supervisor ~cause
+                      ~tval ~pc:epc in
+      Cpu_state.set_pc st handler;
+      true
+    | _ -> false (* OS faults vector architecturally *))
+  | Mailbox.To_enclave id -> (
+    match find t id with
+    | Error _ -> false
+    | Ok e -> (
+      match cause with
+      | Priv.Exception Priv.Ecall_from_u -> handle_enclave_ecall t ~core ~epc e
+      | Priv.Interrupt _ ->
+        (* Asynchronous exit: deschedule (purging) before the OS handler
+           may run; the OS learns nothing but "the enclave stopped". *)
+        ignore (deschedule t ~core ~resume_os_with:(-7L));
+        true
+      | Priv.Exception _ ->
+        (* Enclave fault: async exit; fault details stay private. *)
+        ignore (deschedule t ~core ~resume_os_with:(-8L));
+        true))
+
+let create ?(platform_key = "mi6-platform-root-key") ~mem ~cores ~geometry () =
+  let n = Array.length cores in
+  let t =
+    {
+      mem;
+      cores;
+      ledger = Region.create geometry;
+      platform_key;
+      enclaves = Hashtbl.create 8;
+      next_id = 1;
+      os_mailbox = Mailbox.create ();
+      domain = Array.make n Mailbox.To_os;
+      saved_os = Array.make n None;
+      purge_count = Array.make n 0;
+      purge_hooks = [];
+      scrub_hooks = [];
+    }
+  in
+  Array.iteri
+    (fun core fsim ->
+      Fsim.set_firmware fsim (fun fsim ~cause ~tval ~epc ->
+          firmware t core fsim ~cause ~tval ~epc);
+      (* The OS initially owns every region but the monitor's. *)
+      Cpu_state.set_csr_raw (Fsim.state fsim) Csr.mregions
+        (Region.perm_mask t.ledger Region.Os))
+    cores;
+  t
+
+let regions t = t.ledger
+let platform_key t = t.platform_key
+let current_domain t ~core = t.domain.(core)
+let purges t ~core = t.purge_count.(core)
+let on_purge t f = t.purge_hooks <- f :: t.purge_hooks
+let on_scrub t f = t.scrub_hooks <- f :: t.scrub_hooks

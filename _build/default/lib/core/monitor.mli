@@ -1,0 +1,117 @@
+(** The MI6 security monitor (Section 6.1), modeled as trusted machine-mode
+    firmware over the functional cores (see DESIGN.md for this
+    substitution).
+
+    Responsibilities implemented here, mirroring the paper:
+    - verify that OS-proposed enclave resource allocations are
+      non-overlapping DRAM regions, and transfer ownership;
+    - build each enclave's private page tables inside its own regions and
+      measure loaded pages (measurement finalized at seal);
+    - orchestrate {b purge} and the [mregions] permission vector on every
+      protection-domain transition (enter, exit, and asynchronous exits),
+      and force TLB scrubbing across transitions;
+    - interpose on traps: SM calls (ecall) from OS and enclaves,
+      asynchronous interrupts during enclave execution (saved, purged, and
+      delegated to the OS), and enclave faults (turned into async exits so
+      the OS never observes enclave page-fault addresses — closing the
+      controlled-channel attack of Section 5.3);
+    - mediate all cross-domain communication through mailboxes;
+    - sign attestation reports under the platform key.
+
+    All SM entry points exist both as OCaml functions (used by tests,
+    examples, and the machine model) and as the ecall ABI below, handled
+    by the firmware hook the monitor installs on every core.
+
+    Ecall ABI (a7 = call number, arguments in a0.., result in a0;
+    negative = error):
+    - from the OS (S-mode): 1 create(evbase, evsize, entry, region_mask),
+      2 load_page(id, vaddr, src_paddr), 3 seal(id), 4 enter(id),
+      7 send(dest_id|-1, paddr, len), 8 recv(paddr) -> len,
+      9 destroy(id)
+    - from an enclave (U-mode): 5 exit, 6 attest(challenge_va, data_va,
+      out_va), 7 send(-1, va, len), 8 recv(va) -> len *)
+
+type enclave_id = int
+
+type error =
+  | E_invalid  (** malformed arguments *)
+  | E_overlap  (** region allocation not owned by the OS / overlapping *)
+  | E_state  (** operation illegal in the enclave's current state *)
+  | E_unknown  (** no such enclave *)
+  | E_full  (** mailbox or memory exhausted *)
+
+val error_code : error -> int64
+
+type t
+
+val create :
+  ?platform_key:string ->
+  mem:Phys_mem.t ->
+  cores:Fsim.t array ->
+  geometry:Addr.regions ->
+  unit ->
+  t
+
+val regions : t -> Region.t
+val platform_key : t -> string
+
+(** [current_domain t ~core] — who the core is running for. *)
+val current_domain : t -> core:int -> Mailbox.endpoint
+
+(** [purges t ~core] — number of purges the monitor issued on the core. *)
+val purges : t -> core:int -> int
+
+(** [on_purge t f] — hook invoked as [f ~core] on every monitor-issued
+    purge (the machine model uses it to scrub timing state). *)
+val on_purge : t -> (core:int -> unit) -> unit
+
+(** [on_scrub t f] — hook invoked with the region list being scrubbed at
+    destroy (timing model: drop LLC lines of those regions). *)
+val on_scrub : t -> (int list -> unit) -> unit
+
+(** Host-side (OS) interface. *)
+
+val create_enclave :
+  t ->
+  evbase:int64 ->
+  evsize:int64 ->
+  entry:int64 ->
+  regions:int list ->
+  (enclave_id, error) Stdlib.result
+
+val load_page :
+  t -> enclave_id -> vaddr:int64 -> contents:string -> (unit, error) Stdlib.result
+
+val seal : t -> enclave_id -> (Sha256.digest, error) Stdlib.result
+
+(** [enter t ~core id] context-switches [core] into the enclave: saves the
+    OS context, purges, installs the enclave's page table and region mask,
+    and sets the core to user mode at the entry point. *)
+val enter : t -> core:int -> enclave_id -> (unit, error) Stdlib.result
+
+val destroy : t -> enclave_id -> (unit, error) Stdlib.result
+
+(** Enclave-side interface (also reachable via ecall). *)
+
+val exit_enclave : t -> core:int -> (unit, error) Stdlib.result
+
+val attest :
+  t ->
+  enclave_id ->
+  challenge:string ->
+  report_data:string ->
+  (Attestation.report, error) Stdlib.result
+
+(** Messaging. *)
+
+val send_msg :
+  t -> from_:Mailbox.endpoint -> to_:Mailbox.endpoint -> string -> bool
+
+val recv_msg : t -> me:Mailbox.endpoint -> (Mailbox.endpoint * string) option
+
+(** [measurement t id] — after seal. *)
+val measurement : t -> enclave_id -> (Sha256.digest, error) Stdlib.result
+
+(** [enclave_state_name t id] — "loading" / "sealed" / "running" / "dead"
+    (tests and CLI). *)
+val enclave_state_name : t -> enclave_id -> string

@@ -1,0 +1,173 @@
+type llc_setup = {
+  security : Llc.security;
+  index : Index.t;
+  mshrs : int;
+  mshr_banks : int;
+  strict_bank_stall : bool;
+}
+
+let baseline_setup =
+  {
+    security = Llc.baseline_security;
+    index = Index.flat ~set_bits:10;
+    mshrs = 16;
+    mshr_banks = 1;
+    strict_bank_stall = false;
+  }
+
+let mi6_setup =
+  {
+    security = Llc.mi6_security;
+    index =
+      Index.partitioned ~set_bits:10 ~region_bits:2
+        ~geometry:Addr.default_regions;
+    (* Partitioned: 6 entries per core; DRAM sized per the paper's rule. *)
+    mshrs = 12;
+    mshr_banks = 1;
+    strict_bank_stall = false;
+  }
+
+let geometry = Addr.default_regions
+
+(* The attacker sits on the HIGHER core index: the baseline two-level mux
+   arbitrates lower cores first, so its unfairness (a Section 5.4.2 minor
+   leak) is visible to the attacker; MI6's round-robin arbiter must make
+   the position irrelevant. *)
+let attacker_core = 1
+let victim_core = 0
+
+(* Attacker data lives in region 2, victim data in region 3: disjoint
+   protection domains. *)
+let attacker_base_line = Addr.region_base geometry 2 / Addr.line_bytes
+let victim_base_line = Addr.region_base geometry 3 / Addr.line_bytes
+
+let make_hierarchy setup ~dram =
+  let stats = Stats.create () in
+  let llc_cfg =
+    {
+      (Llc.default_config ~cores:2) with
+      Llc.index = setup.index;
+      mshrs = setup.mshrs;
+      mshr_banks = setup.mshr_banks;
+      strict_bank_stall = setup.strict_bank_stall;
+    }
+  in
+  Hierarchy.create ~llc:llc_cfg ~security:setup.security ~dram ~stats ()
+
+let const_dram = Hierarchy.Const_dram { latency = 120; max_outstanding = 24 }
+
+(* Serially access [line] from [core] and return the completion latency.
+   [while_waiting] runs every cycle (drives the concurrent victim). *)
+let timed_access ?(while_waiting = fun () -> ()) h ~core ~line =
+  let rec wait_ready budget =
+    if budget = 0 then failwith "Noninterference: L1 never ready";
+    if not (Hierarchy.can_accept h ~core) then begin
+      while_waiting ();
+      Hierarchy.tick h;
+      ignore (Hierarchy.take_completions h ~core);
+      wait_ready (budget - 1)
+    end
+  in
+  wait_ready 10_000;
+  let issued = Hierarchy.now h in
+  Hierarchy.request h ~core ~line ~store:false ~id:0;
+  let rec wait budget =
+    if budget = 0 then failwith "Noninterference: access never completed";
+    while_waiting ();
+    Hierarchy.tick h;
+    match Hierarchy.take_completions h ~core with
+    | [] -> wait (budget - 1)
+    | (_, at) :: _ -> at - issued
+  in
+  wait 10_000
+
+(* Untimed access: issue and wait for completion. *)
+let plain_access h ~core ~line =
+  ignore (timed_access h ~core ~line)
+
+(* ------------------------------------------------------------------ *)
+(* Prime + probe                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let prime_probe setup ~secret =
+  let h = make_hierarchy setup ~dram:const_dram in
+  (* Lines of the attacker that share one index-set under the FLAT
+     function; under the partitioned function they stay inside the
+     attacker's slice either way. *)
+  let set = 5 in
+  let attacker_line k = attacker_base_line + (k * 1024) + set in
+  (* Victim lines mapping (flat) to the same set when the secret is 1,
+     to a different set otherwise. *)
+  let victim_line k =
+    victim_base_line + (k * 1024) + if secret then set else set + 7
+  in
+  (* Prime: fill the set with the attacker's 16 ways (and warm the
+     attacker L1 out of the picture by using >8 lines per L1 set). *)
+  for k = 0 to 15 do
+    plain_access h ~core:attacker_core ~line:(attacker_line k)
+  done;
+  (* Victim activity while the attacker is idle. *)
+  for k = 0 to 7 do
+    plain_access h ~core:victim_core ~line:(victim_line k)
+  done;
+  (* Probe: time each attacker line again.  L1 pressure: the 16 lines
+     map to the same L1 set (stride 1024 lines = same L1 index), so only
+     8 fit the 8-way L1 — misses go to the LLC where the victim may have
+     evicted them. *)
+  List.init 16 (fun k -> timed_access h ~core:attacker_core ~line:(attacker_line k))
+
+(* ------------------------------------------------------------------ *)
+(* MSHR / queue contention                                             *)
+(* ------------------------------------------------------------------ *)
+
+let mshr_channel setup ~victim_floods =
+  let h = make_hierarchy setup ~dram:const_dram in
+  (* The victim keeps as many misses in flight as its L1 allows, to
+     fresh lines so every one reaches the LLC and DRAM. *)
+  let next_victim = ref 0 in
+  let victim_driver () =
+    if victim_floods && Hierarchy.can_accept h ~core:victim_core then begin
+      incr next_victim;
+      Hierarchy.request h ~core:victim_core
+        ~line:(victim_base_line + (!next_victim * 517))
+        ~store:false ~id:!next_victim
+    end;
+    ignore (Hierarchy.take_completions h ~core:victim_core)
+  in
+  (* The attacker times a stream of its own misses (fresh lines). *)
+  List.init 24 (fun k ->
+      timed_access ~while_waiting:victim_driver h ~core:attacker_core
+        ~line:(attacker_base_line + (k * 131)))
+
+(* ------------------------------------------------------------------ *)
+(* DRAM bank locality                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let dram_bank_channel ~reordering ~victim_same_bank =
+  let dram =
+    if reordering then Hierarchy.Reorder_dram Fr_fcfs.default_config
+    else const_dram
+  in
+  let h = make_hierarchy mi6_setup ~dram in
+  let banks = Fr_fcfs.default_config.Fr_fcfs.banks in
+  (* Attacker misses always target bank 0 (line multiple of #banks). *)
+  let attacker_line k = attacker_base_line + (k * 129 * banks) in
+  let victim_bank = if victim_same_bank then 0 else banks / 2 in
+  let next_victim = ref 0 in
+  let victim_driver () =
+    if Hierarchy.can_accept h ~core:victim_core then begin
+      incr next_victim;
+      (* Fresh victim lines confined to one bank. *)
+      let line = victim_base_line + (!next_victim * 97 * banks) + victim_bank in
+      Hierarchy.request h ~core:victim_core ~line ~store:false ~id:!next_victim
+    end;
+    ignore (Hierarchy.take_completions h ~core:victim_core)
+  in
+  List.init 24 (fun k ->
+      timed_access ~while_waiting:victim_driver h ~core:attacker_core
+        ~line:(attacker_line (k + 1)))
+
+let leaks observations =
+  match observations with
+  | [] -> false
+  | first :: rest -> List.exists (fun o -> o <> first) rest

@@ -1,0 +1,54 @@
+(** Side-channel experiments and the non-interference property.
+
+    Each experiment runs an attacker agent on core 0 and a victim agent on
+    core 1 of a two-core memory hierarchy, with disjoint DRAM regions
+    (architectural isolation holds by construction — the question is
+    exactly the paper's: does the {e timing} the attacker observes depend
+    on the victim?).  The attacker's observation is the list of latencies
+    of its own timed accesses.  A configuration provides strong timing
+    independence for an experiment when the observation is bit-identical
+    across victim behaviours.
+
+    Experiments map to the paper's channels:
+    - {!prime_probe}: LLC set contention (Section 5.2 — closed by set
+      partitioning);
+    - {!mshr_channel}: LLC MSHR occupancy and the shared pipeline/queue
+      contention (Sections 5.2/5.4 — closed by MSHR partitioning, the
+      round-robin arbiter, split UQs, and one-cycle DQ dequeues);
+    - {!dram_bank_channel}: DRAM bank-locality reordering (Section 5.2 —
+      closed by the constant-latency controller). *)
+
+type llc_setup = {
+  security : Llc.security;
+  index : Index.t;
+  mshrs : int;
+  mshr_banks : int;
+  strict_bank_stall : bool;
+}
+
+(** Insecure RiscyOO LLC: flat index, shared 16-entry MSHRs, Figure 2
+    structures. *)
+val baseline_setup : llc_setup
+
+(** MI6 LLC: region-partitioned index, partitioned MSHRs, Figure 3
+    structures. *)
+val mi6_setup : llc_setup
+
+(** [prime_probe setup ~secret] — attacker primes an LLC set with its own
+    lines, the victim touches a line whose set depends on [secret], the
+    attacker probes and records each probe latency. *)
+val prime_probe : llc_setup -> secret:bool -> int list
+
+(** [mshr_channel setup ~victim_floods] — the victim either floods the LLC
+    with misses or stays idle while the attacker times a sequence of its
+    own misses. *)
+val mshr_channel : llc_setup -> victim_floods:bool -> int list
+
+(** [dram_bank_channel ~reordering ~victim_same_bank] — run on the MI6 LLC
+    with either the FR-FCFS or the constant-latency DRAM controller; the
+    victim hammers either the attacker's DRAM bank or a different one. *)
+val dram_bank_channel : reordering:bool -> victim_same_bank:bool -> int list
+
+(** [leaks observations] — true when any two observations differ (the
+    attacker can distinguish victim behaviours). *)
+val leaks : int list list -> bool

@@ -1,0 +1,38 @@
+type owner = Monitor | Os | Enclave of int | Free
+
+type t = { geometry : Addr.regions; owners : owner array }
+
+let create geometry =
+  let owners = Array.make geometry.Addr.region_count Os in
+  owners.(0) <- Monitor;
+  { geometry; owners }
+
+let geometry t = t.geometry
+let region_count t = t.geometry.Addr.region_count
+
+let owner t r =
+  if r < 0 || r >= Array.length t.owners then invalid_arg "Region.owner";
+  t.owners.(r)
+
+let owned_by t who =
+  let acc = ref [] in
+  Array.iteri (fun i o -> if o = who then acc := i :: !acc) t.owners;
+  List.rev !acc
+
+let transfer t ~regions ~from_ ~to_ =
+  let ok =
+    regions <> []
+    && List.for_all
+         (fun r -> r >= 0 && r < Array.length t.owners && t.owners.(r) = from_)
+         regions
+  in
+  if ok then List.iter (fun r -> t.owners.(r) <- to_) regions;
+  ok
+
+let perm_mask t who =
+  let mask = ref 0L in
+  Array.iteri
+    (fun i o ->
+      if o = who then mask := Int64.logor !mask (Int64.shift_left 1L i))
+    t.owners;
+  !mask

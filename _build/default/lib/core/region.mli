@@ -1,0 +1,35 @@
+(** DRAM-region ownership ledger.
+
+    The OS proposes region allocations; the security monitor verifies them
+    against this ledger so that protection domains never overlap
+    (Section 6.1: "asserts that resources allocated to enclaves by the OS
+    are non-overlapping").  Region 0 is reserved for the monitor itself at
+    creation ("statically reserves a sufficient amount of physical
+    memory"). *)
+
+type owner = Monitor | Os | Enclave of int | Free
+
+type t
+
+(** [create geometry] — all regions initially [Os] except region 0
+    ([Monitor]). *)
+val create : Addr.regions -> t
+
+val geometry : t -> Addr.regions
+val owner : t -> int -> owner
+
+(** [owned_by t who] lists the region ids owned by [who]. *)
+val owned_by : t -> owner -> int list
+
+(** [transfer t ~regions ~from_ ~to_] atomically moves ownership; fails
+    (returning [false], changing nothing) if any region is not owned by
+    [from_]. *)
+val transfer : t -> regions:int list -> from_:owner -> to_:owner -> bool
+
+(** [perm_mask t who] is the 64-bit [mregions] CSR value granting exactly
+    [who]'s regions. *)
+val perm_mask : t -> owner -> int64
+
+(** [disjoint_check t] — no region has two owners by construction; this
+    validates internal consistency (used by property tests). *)
+val region_count : t -> int

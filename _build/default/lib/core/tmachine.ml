@@ -1,0 +1,162 @@
+type t = {
+  cores : Core.t array;
+  l1ds : L1.t array;
+  l1is : L1.t array;
+  llc : Llc.t;
+  mutable clock : int;
+}
+
+(* Per-core protection-domain region block: core i owns regions
+   8i+1..8i+7 (region 0 stays the monitor's).  Within the block: code,
+   data, kernel, and page tables each get their own region, so domains
+   are fully disjoint — including the page-table lines the walkers
+   touch. *)
+let region_block core = (8 * core) + 1
+
+let code_base ~core = Addr.region_base Addr.default_regions (region_block core)
+let data_base ~core = Addr.region_base Addr.default_regions (region_block core + 1)
+let kernel_base ~core = Addr.region_base Addr.default_regions (region_block core + 3)
+
+let pt_base_line ~core =
+  Addr.region_base Addr.default_regions (region_block core + 4)
+  / Addr.line_bytes
+
+let create (timing : Config.timing) ~streams ~stats =
+  let n = Array.length streams in
+  let ports = 2 * n in
+  if timing.Config.llc.Llc.cores <> ports then
+    invalid_arg "Tmachine.create: llc config port count mismatch";
+  let links = Array.init ports (fun _ -> Link.create ~depth:4) in
+  let dram =
+    Controller.constant ~latency:timing.Config.dram_latency
+      ~max_outstanding:timing.Config.dram_outstanding ~stats
+  in
+  let llc =
+    Llc.create timing.Config.llc ~security:timing.Config.llc_security ~links
+      ~dram ~stats
+  in
+  let l1ds =
+    Array.init n (fun i ->
+        L1.create timing.Config.l1 ~link:links.(2 * i) ~stats
+          ~name:(Printf.sprintf "l1d.%d" i))
+  in
+  let l1is =
+    Array.init n (fun i ->
+        L1.create timing.Config.l1
+          ~link:links.((2 * i) + 1)
+          ~stats
+          ~name:(Printf.sprintf "l1i.%d" i))
+  in
+  let cores =
+    Array.init n (fun i ->
+        Core.create timing.Config.core ~l1i:l1is.(i) ~l1d:l1ds.(i)
+          ~stream:streams.(i) ~stats ~pt_base_line:(pt_base_line ~core:i))
+  in
+  { cores; l1ds; l1is; llc; clock = 0 }
+
+let now t = t.clock
+let core t i = t.cores.(i)
+
+let tick t =
+  let now = t.clock in
+  Array.iteri
+    (fun i core ->
+      Core.tick core ~now;
+      L1.tick t.l1ds.(i) ~now ~complete:(fun id ->
+          Core.mem_complete core ~now ~id);
+      L1.tick t.l1is.(i) ~now ~complete:(fun id -> Core.icache_complete core ~id))
+    t.cores;
+  Llc.tick t.llc ~now;
+  t.clock <- now + 1
+
+let finished t = Array.for_all Core.finished t.cores
+
+let run t ~max_cycles =
+  let start = t.clock in
+  while (not (finished t)) && t.clock - start < max_cycles do
+    tick t
+  done;
+  if not (finished t) then failwith "Tmachine.run: cycle budget exhausted";
+  t.clock - start
+
+type result = { cycles : int; instrs : int; stats : Stats.t }
+
+let ipc r = if r.cycles = 0 then 0.0 else float_of_int r.instrs /. float_of_int r.cycles
+
+let mpki r counter =
+  if r.instrs = 0 then 0.0
+  else 1000.0 *. float_of_int (Stats.get r.stats counter) /. float_of_int r.instrs
+
+let run_stream ~timing ~stream ~warmup ~measure =
+  ignore measure;
+  let stats = Stats.create () in
+  let m = create timing ~streams:[| stream |] ~stats in
+  let c = m.cores.(0) in
+  let snap = ref None in
+  let budget = 400_000_000 in
+  while (not (finished m)) && m.clock < budget do
+    tick m;
+    if !snap = None && Core.committed_instructions c >= warmup then
+      snap := Some (m.clock, Core.committed_instructions c, Stats.copy stats)
+  done;
+  if not (finished m) then failwith "Tmachine.run_stream: cycle budget exhausted";
+  match !snap with
+  | None ->
+    (* Warmup longer than the stream: measure everything. *)
+    {
+      cycles = m.clock;
+      instrs = Core.committed_instructions c;
+      stats = Stats.copy stats;
+    }
+  | Some (cycle0, instrs0, base) ->
+    {
+      cycles = m.clock - cycle0;
+      instrs = Core.committed_instructions c - instrs0;
+      stats = Stats.diff stats ~baseline:base;
+    }
+
+let spec_stream ~core ~bench ~limit =
+  let gen =
+    Mi6_workload.Synth.for_bench bench ~data_base:(data_base ~core)
+      ~code_base:(code_base ~core) ~kernel_base:(kernel_base ~core)
+  in
+  Mi6_workload.Synth.stream gen ~limit
+
+let run_spec ~variant ~bench ~warmup ~measure =
+  let timing = Config.timing ~cores:1 variant in
+  let stream = spec_stream ~core:0 ~bench ~limit:(warmup + measure) in
+  run_stream ~timing ~stream ~warmup ~measure
+
+(* Multiprogrammed run: one SPEC model per core, each confined to its own
+   region block — the multiprocessor methodology the paper could not fit
+   on its FPGA (Section 7.2). *)
+let run_multi ~timing ~benches ~warmup ~measure =
+  let n = Array.length benches in
+  let stats = Stats.create () in
+  let streams =
+    Array.init n (fun i ->
+        spec_stream ~core:i ~bench:benches.(i) ~limit:(warmup + measure))
+  in
+  let m = create timing ~streams ~stats in
+  let snaps = Array.make n None in
+  let fins = Array.make n None in
+  let budget = 600_000_000 in
+  while (not (finished m)) && m.clock < budget do
+    tick m;
+    Array.iteri
+      (fun i core ->
+        let c = Core.committed_instructions core in
+        if snaps.(i) = None && c >= warmup then
+          snaps.(i) <- Some (m.clock, c);
+        if fins.(i) = None && c >= warmup + measure then
+          fins.(i) <- Some (m.clock, c))
+      m.cores
+  done;
+  if not (finished m) then failwith "Tmachine.run_multi: budget exhausted";
+  Array.init n (fun i ->
+      let cycle0, instr0 = Option.value snaps.(i) ~default:(0, 0) in
+      let cycle1, instr1 =
+        Option.value fins.(i)
+          ~default:(m.clock, Core.committed_instructions m.cores.(i))
+      in
+      { cycles = cycle1 - cycle0; instrs = instr1 - instr0; stats })

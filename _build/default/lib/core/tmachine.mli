@@ -1,0 +1,72 @@
+(** The timing machine: OoO cores (each with private L1 I/D, TLBs, and
+    walker) around the shared LLC and DRAM controller, advanced in
+    lock-step — plus the experiment runner used by the benchmark harness
+    to reproduce the paper's Figures 5-13.
+
+    The evaluation methodology mirrors the paper's: each SPEC model runs
+    alone on one core of a variant machine (Section 7 approximated its
+    16-core conclusions the same way on a single FPGA core), with a warmup
+    window excluded from measurement. *)
+
+type t
+
+(** [create timing ~streams ~stats] builds a machine with one core per
+    stream. *)
+val create :
+  Config.timing -> streams:(unit -> Uop.t option) array -> stats:Stats.t -> t
+
+val tick : t -> unit
+val now : t -> int
+val core : t -> int -> Core.t
+val finished : t -> bool
+
+(** [run t ~max_cycles] ticks until every core finishes; returns cycles.
+    Raises [Failure] on timeout. *)
+val run : t -> max_cycles:int -> int
+
+(** Result of a measured single-core run. *)
+type result = {
+  cycles : int;  (** measured-window cycles *)
+  instrs : int;  (** measured-window committed instructions *)
+  stats : Stats.t;  (** measured-window counter deltas *)
+}
+
+val ipc : result -> float
+
+(** [mpki result counter] — events per kilo-instruction in the window. *)
+val mpki : result -> string -> float
+
+(** [run_spec ~variant ~bench ~warmup ~measure] runs a SPEC model on a
+    variant machine: [warmup] µops untimed, then [measure] µops
+    measured. *)
+val run_spec :
+  variant:Config.variant ->
+  bench:Mi6_workload.Spec.bench ->
+  warmup:int ->
+  measure:int ->
+  result
+
+(** [run_stream ~timing ~stream ~warmup ~measure] — same measurement
+    protocol for an arbitrary µop stream (ablations, tests).  [stream]
+    must end after [warmup + measure] µops. *)
+val run_stream :
+  timing:Config.timing ->
+  stream:(unit -> Uop.t option) ->
+  warmup:int ->
+  measure:int ->
+  result
+
+(** [run_multi ~timing ~benches ~warmup ~measure] — a multiprogrammed
+    multiprocessor run: one SPEC model per core, each confined to its own
+    disjoint block of DRAM regions (code, data, kernel, and page tables
+    all private).  Per-core measured windows are cut when that core passes
+    its own warmup / measure instruction counts.  This is the evaluation
+    the paper calls ideal but could not fit on one FPGA (Section 7.2).
+    The shared [stats] table is returned in each result (counters are
+    machine-wide). *)
+val run_multi :
+  timing:Config.timing ->
+  benches:Mi6_workload.Spec.bench array ->
+  warmup:int ->
+  measure:int ->
+  result array

@@ -1,0 +1,1 @@
+lib/dram/dram.ml: Fifo Stats

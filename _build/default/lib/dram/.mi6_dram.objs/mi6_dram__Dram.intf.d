@@ -1,0 +1,1 @@
+lib/dram/dram.mli: Stats

@@ -1,0 +1,1 @@
+lib/dram/fr_fcfs.ml: Array Fifo List Stats

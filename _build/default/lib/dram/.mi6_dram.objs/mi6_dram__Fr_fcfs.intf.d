@@ -1,0 +1,1 @@
+lib/dram/fr_fcfs.mli: Stats

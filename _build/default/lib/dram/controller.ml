@@ -1,0 +1,31 @@
+type req = { read : bool; line : int; tag : int }
+
+type t =
+  | Const of Dram.t * int
+  | Reorder of Fr_fcfs.t * int
+
+let constant ~latency ~max_outstanding ~stats =
+  Const (Dram.create ~latency ~max_outstanding ~stats, max_outstanding)
+
+let reordering cfg ~stats =
+  Reorder (Fr_fcfs.create cfg ~stats, cfg.Fr_fcfs.max_outstanding)
+
+let can_accept = function
+  | Const (d, _) -> Dram.can_accept d
+  | Reorder (d, _) -> Fr_fcfs.can_accept d
+
+let accept t ~now { read; line; tag } =
+  match t with
+  | Const (d, _) -> Dram.accept d ~now { Dram.read; line; tag }
+  | Reorder (d, _) -> Fr_fcfs.accept d ~now { Fr_fcfs.read; line; tag }
+
+let tick t ~now ~respond =
+  match t with
+  | Const (d, _) -> Dram.tick d ~now ~respond
+  | Reorder (d, _) -> Fr_fcfs.tick d ~now ~respond
+
+let outstanding = function
+  | Const (d, _) -> Dram.outstanding d
+  | Reorder (d, _) -> Fr_fcfs.outstanding d
+
+let max_outstanding = function Const (_, m) -> m | Reorder (_, m) -> m

@@ -1,0 +1,14 @@
+(** Uniform front for the two DRAM controller models, so the LLC is
+    agnostic to which one is plugged in. *)
+
+type req = { read : bool; line : int; tag : int }
+
+type t
+
+val constant : latency:int -> max_outstanding:int -> stats:Stats.t -> t
+val reordering : Fr_fcfs.config -> stats:Stats.t -> t
+val can_accept : t -> bool
+val accept : t -> now:int -> req -> unit
+val tick : t -> now:int -> respond:(tag:int -> line:int -> unit) -> unit
+val outstanding : t -> int
+val max_outstanding : t -> int

@@ -1,0 +1,51 @@
+type req = { read : bool; line : int; tag : int }
+
+type inflight = { req : req; done_at : int }
+
+type t = {
+  lat : int;
+  max_outstanding : int;
+  stats : Stats.t;
+  q : inflight Fifo.t;
+  mutable accepted_at : int; (* cycle of last accept, for 1/cycle limit *)
+}
+
+let create ~latency ~max_outstanding ~stats =
+  if latency <= 0 || max_outstanding <= 0 then invalid_arg "Dram.create";
+  {
+    lat = latency;
+    max_outstanding;
+    stats;
+    q = Fifo.create ~capacity:max_outstanding;
+    accepted_at = -1;
+  }
+
+let latency t = t.lat
+let outstanding t = Fifo.length t.q
+
+let can_accept t = Fifo.length t.q < t.max_outstanding
+
+let accept t ~now req =
+  if not (can_accept t) then failwith "Dram.accept: backpressured";
+  if t.accepted_at = now then failwith "Dram.accept: two requests in one cycle";
+  t.accepted_at <- now;
+  Stats.incr t.stats (if req.read then "dram.reads" else "dram.writes");
+  Fifo.enq t.q { req; done_at = now + t.lat }
+
+let tick t ~now ~respond =
+  (* Constant latency + in-order acceptance means the head is always the
+     next to complete. *)
+  let rec drain_writes () =
+    match Fifo.peek_opt t.q with
+    | Some { req = { read = false; _ }; done_at } when done_at <= now ->
+      ignore (Fifo.deq t.q);
+      drain_writes ()
+    | _ -> ()
+  in
+  drain_writes ();
+  match Fifo.peek_opt t.q with
+  | Some { req = { read = true; line; tag }; done_at } when done_at <= now ->
+    ignore (Fifo.deq t.q);
+    respond ~tag ~line;
+    drain_writes ()
+  | _ -> ()

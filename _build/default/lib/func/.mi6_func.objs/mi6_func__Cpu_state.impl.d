@@ -1,0 +1,1 @@
+lib/func/cpu_state.ml: Array Csr Hashtbl Int64 Priv Reg

@@ -1,0 +1,1 @@
+lib/func/cpu_state.mli: Csr Priv Reg Stdlib

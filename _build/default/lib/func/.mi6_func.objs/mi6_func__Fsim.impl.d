@@ -1,0 +1,1 @@
+lib/func/fsim.ml: Addr Array Asm Cpu_state Csr Encode Instr Int32 Int64 List Page_table Phys_mem Priv

@@ -1,0 +1,1 @@
+lib/func/fsim.mli: Addr Asm Cpu_state Instr Phys_mem Priv

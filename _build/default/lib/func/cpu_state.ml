@@ -1,0 +1,153 @@
+type t = {
+  regs : int64 array;
+  mutable pc : int64;
+  mutable mode : Priv.mode;
+  csrs : (Csr.t, int64 ref) Hashtbl.t;
+}
+
+let create ~hartid =
+  let t =
+    {
+      regs = Array.make 32 0L;
+      pc = 0L;
+      mode = Priv.Machine;
+      csrs = Hashtbl.create 32;
+    }
+  in
+  Hashtbl.add t.csrs Csr.mhartid (ref (Int64.of_int hartid));
+  t
+
+let get_reg t r =
+  Reg.check r;
+  if r = 0 then 0L else t.regs.(r)
+
+let set_reg t r v =
+  Reg.check r;
+  if r <> 0 then t.regs.(r) <- v
+
+let pc t = t.pc
+let set_pc t v = t.pc <- v
+let mode t = t.mode
+let set_mode t m = t.mode <- m
+
+let cell t csr =
+  match Hashtbl.find_opt t.csrs csr with
+  | Some r -> r
+  | None ->
+    let r = ref 0L in
+    Hashtbl.add t.csrs csr r;
+    r
+
+let csr_raw t csr = !(cell t csr)
+let set_csr_raw t csr v = cell t csr := v
+
+type csr_error = Illegal_csr
+
+(* cycle/instret are shadows of mcycle/minstret at user level; sstatus
+   shadows mstatus. *)
+let alias csr =
+  if csr = Csr.cycle then Csr.mcycle
+  else if csr = Csr.instret then Csr.minstret
+  else if csr = Csr.sstatus then Csr.mstatus
+  else if csr = Csr.sie then Csr.mie
+  else if csr = Csr.sip then Csr.mip
+  else csr
+
+let read_csr t csr =
+  if not (Csr.is_known csr) then Error Illegal_csr
+  else if Priv.more_privileged (Csr.min_priv csr) t.mode then Error Illegal_csr
+  else Ok (csr_raw t (alias csr))
+
+let csr_read_only csr = (csr lsr 10) land 0x3 = 0x3
+
+let write_csr t csr v =
+  if not (Csr.is_known csr) then Error Illegal_csr
+  else if Priv.more_privileged (Csr.min_priv csr) t.mode then Error Illegal_csr
+  else if csr_read_only csr then Error Illegal_csr
+  else begin
+    set_csr_raw t (alias csr) v;
+    Ok ()
+  end
+
+(* mstatus bit positions. *)
+let bit_sie = 1
+let bit_mie = 3
+let bit_spie = 5
+let bit_mpie = 7
+let bit_spp = 8
+let bit_mpp = 11 (* 2 bits *)
+
+let get_bit t pos = Int64.logand (Int64.shift_right_logical (csr_raw t Csr.mstatus) pos) 1L = 1L
+
+let set_bit t pos b =
+  let v = csr_raw t Csr.mstatus in
+  let mask = Int64.shift_left 1L pos in
+  set_csr_raw t Csr.mstatus
+    (if b then Int64.logor v mask else Int64.logand v (Int64.lognot mask))
+
+let get_field t pos width =
+  Int64.to_int
+    (Int64.logand
+       (Int64.shift_right_logical (csr_raw t Csr.mstatus) pos)
+       (Int64.of_int ((1 lsl width) - 1)))
+
+let set_field t pos width v =
+  let cur = csr_raw t Csr.mstatus in
+  let mask = Int64.shift_left (Int64.of_int ((1 lsl width) - 1)) pos in
+  let nv =
+    Int64.logor
+      (Int64.logand cur (Int64.lognot mask))
+      (Int64.shift_left (Int64.of_int (v land ((1 lsl width) - 1))) pos)
+  in
+  set_csr_raw t Csr.mstatus nv
+
+let mie t = get_bit t bit_mie
+let set_mie t b = set_bit t bit_mie b
+let sie t = get_bit t bit_sie
+let set_sie t b = set_bit t bit_sie b
+
+let push_trap t ~target ~cause ~tval ~pc =
+  let code = Priv.cause_code cause in
+  (match target with
+  | Priv.Machine ->
+    set_csr_raw t Csr.mepc pc;
+    set_csr_raw t Csr.mcause code;
+    set_csr_raw t Csr.mtval tval;
+    set_bit t bit_mpie (mie t);
+    set_mie t false;
+    set_field t bit_mpp 2 (Priv.mode_to_int t.mode)
+  | Priv.Supervisor ->
+    set_csr_raw t Csr.sepc pc;
+    set_csr_raw t Csr.scause code;
+    set_csr_raw t Csr.stval tval;
+    set_bit t bit_spie (sie t);
+    set_sie t false;
+    set_bit t bit_spp (t.mode = Priv.Supervisor)
+  | Priv.User -> invalid_arg "Cpu_state.push_trap: cannot trap to user mode");
+  t.mode <- target;
+  let tvec =
+    match target with
+    | Priv.Machine -> csr_raw t Csr.mtvec
+    | Priv.Supervisor -> csr_raw t Csr.stvec
+    | Priv.User -> assert false
+  in
+  (* Direct mode only (tvec low bits ignored). *)
+  Int64.logand tvec (Int64.lognot 3L)
+
+let pop_mret t =
+  set_mie t (get_bit t bit_mpie);
+  set_bit t bit_mpie true;
+  t.mode <- Priv.mode_of_int (get_field t bit_mpp 2);
+  set_field t bit_mpp 2 0;
+  csr_raw t Csr.mepc
+
+let pop_sret t =
+  set_sie t (get_bit t bit_spie);
+  set_bit t bit_spie true;
+  t.mode <- (if get_bit t bit_spp then Priv.Supervisor else Priv.User);
+  set_bit t bit_spp false;
+  csr_raw t Csr.sepc
+
+let bump_counters t ~cycles =
+  set_csr_raw t Csr.mcycle (Int64.add (csr_raw t Csr.mcycle) (Int64.of_int cycles));
+  set_csr_raw t Csr.minstret (Int64.add (csr_raw t Csr.minstret) 1L)

@@ -1,0 +1,55 @@
+(** Architectural state of one hart: registers, pc, privilege mode, CSRs.
+
+    CSR accesses go through privilege checks ({!read_csr} / {!write_csr});
+    the simulator's own bookkeeping uses the unchecked raw accessors. *)
+
+type t
+
+val create : hartid:int -> t
+
+(** Register file; [x0] reads zero and ignores writes. *)
+val get_reg : t -> Reg.t -> int64
+
+val set_reg : t -> Reg.t -> int64 -> unit
+
+val pc : t -> int64
+val set_pc : t -> int64 -> unit
+val mode : t -> Priv.mode
+val set_mode : t -> Priv.mode -> unit
+
+(** Raw CSR storage, no privilege checks. Unknown CSRs read zero. *)
+val csr_raw : t -> Csr.t -> int64
+
+val set_csr_raw : t -> Csr.t -> int64 -> unit
+
+type csr_error = Illegal_csr
+
+(** [read_csr t csr] checks that the current mode may access [csr]. *)
+val read_csr : t -> Csr.t -> (int64, csr_error) Stdlib.result
+
+(** [write_csr t csr v] additionally rejects read-only CSRs (address top
+    bits [11]). *)
+val write_csr : t -> Csr.t -> int64 -> (unit, csr_error) Stdlib.result
+
+(** mstatus field helpers. *)
+
+val mie : t -> bool
+val set_mie : t -> bool -> unit
+val sie : t -> bool
+val set_sie : t -> bool -> unit
+
+(** [push_trap t ~target ~cause ~tval ~pc] performs trap entry bookkeeping
+    into machine or supervisor mode and returns the handler address from the
+    relevant tvec CSR. *)
+val push_trap :
+  t -> target:Priv.mode -> cause:Priv.cause -> tval:int64 -> pc:int64 -> int64
+
+(** [pop_mret t] / [pop_sret t] implement trap return; they restore the
+    privilege stack and return the saved exception pc. *)
+val pop_mret : t -> int64
+
+val pop_sret : t -> int64
+
+(** Cycle / retired-instruction counters (mirrored into the cycle/instret
+    CSRs). *)
+val bump_counters : t -> cycles:int -> unit

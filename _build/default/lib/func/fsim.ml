@@ -1,0 +1,607 @@
+type access_kind = Fetch | Load | Store | Walk
+
+type access = {
+  kind : access_kind;
+  vaddr : int64 option;
+  paddr : int;
+  width : int;
+}
+
+type trap_info = { cause : Priv.cause; tval : int64; target : Priv.mode }
+
+type step_result = {
+  pc : int64;
+  executed : Instr.t option;
+  accesses : access list;
+  trap : trap_info option;
+  purged : bool;
+}
+
+type t = {
+  mem : Phys_mem.t;
+  state : Cpu_state.t;
+  regions : Addr.regions;
+  mutable firmware : firmware option;
+  mutable on_purge : (unit -> unit) option;
+  mutable accesses : access list; (* reversed, per step *)
+  mutable purged : bool;
+  mutable reservation : int64 option; (* LR/SC reservation address *)
+}
+
+and firmware = t -> cause:Priv.cause -> tval:int64 -> epc:int64 -> bool
+
+exception Trap of Priv.exception_cause * int64 (* cause, tval *)
+
+let create ?(regions = Addr.default_regions) ~mem ~hartid () =
+  if Phys_mem.size_bytes mem <> regions.Addr.dram_bytes then
+    invalid_arg "Fsim.create: memory size does not match region geometry";
+  {
+    mem;
+    state = Cpu_state.create ~hartid;
+    regions;
+    firmware = None;
+    on_purge = None;
+    accesses = [];
+    purged = false;
+    reservation = None;
+  }
+
+let mem t = t.mem
+let state t = t.state
+let regions t = t.regions
+let set_firmware t fw = t.firmware <- Some fw
+let set_on_purge t f = t.on_purge <- Some f
+
+(* MIP/MIE bit positions. *)
+let mtip_bit = 7L
+
+let set_mip_bit t bit v =
+  let cur = Cpu_state.csr_raw t.state Csr.mip in
+  let mask = Int64.shift_left 1L (Int64.to_int bit) in
+  Cpu_state.set_csr_raw t.state Csr.mip
+    (if v then Int64.logor cur mask else Int64.logand cur (Int64.lognot mask))
+
+let raise_timer_interrupt t = set_mip_bit t mtip_bit true
+let clear_timer_interrupt t = set_mip_bit t mtip_bit false
+
+(* ------------------------------------------------------------------ *)
+(* Physical access with MI6 region validation                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Region permission for the current mode.  Machine mode bypasses the
+   region bitvector (the monitor must reach all of DRAM); everything else
+   is confined to the regions allowed in mregions. *)
+let region_allowed t paddr =
+  Addr.in_dram t.regions paddr
+  &&
+  match Cpu_state.mode t.state with
+  | Priv.Machine -> true
+  | Priv.Supervisor | Priv.User ->
+    let r = Addr.region_of t.regions paddr in
+    let mask = Cpu_state.csr_raw t.state Csr.mregions in
+    Int64.logand (Int64.shift_right_logical mask r) 1L = 1L
+
+let fault_for kind =
+  match kind with
+  | Fetch -> Priv.Instr_access_fault
+  | Load -> Priv.Load_access_fault
+  | Store -> Priv.Store_access_fault
+  | Walk -> Priv.Region_fault
+
+(* Validate-then-emit: an access that fails validation is never recorded,
+   modeling MI6 hardware suppressing the request before it reaches the
+   memory system. *)
+let emit t ~kind ~vaddr ~paddr ~width =
+  if not (Addr.in_dram t.regions paddr) then
+    raise (Trap (fault_for kind, Int64.of_int paddr));
+  if not (region_allowed t paddr) then
+    raise (Trap (Priv.Region_fault, Int64.of_int paddr));
+  (match (kind, Cpu_state.mode t.state) with
+  | Fetch, Priv.Machine ->
+    let mask = Cpu_state.csr_raw t.state Csr.mfetchmask in
+    if mask <> 0L then begin
+      let base = Cpu_state.csr_raw t.state Csr.mfetchbase in
+      if Int64.logand (Int64.of_int paddr) mask <> base then
+        raise (Trap (Priv.Instr_access_fault, Int64.of_int paddr))
+    end
+  | _ -> ());
+  t.accesses <- { kind; vaddr; paddr; width } :: t.accesses
+
+(* ------------------------------------------------------------------ *)
+(* Translation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type mem_op = Op_fetch | Op_load | Op_store
+
+let page_fault_for = function
+  | Op_fetch -> Priv.Instr_page_fault
+  | Op_load -> Priv.Load_page_fault
+  | Op_store -> Priv.Store_page_fault
+
+let satp_mode_sv39 = 8L
+
+let translation_on t =
+  Cpu_state.mode t.state <> Priv.Machine
+  && Int64.shift_right_logical (Cpu_state.csr_raw t.state Csr.satp) 60
+     = satp_mode_sv39
+
+let translate t ~vaddr ~op =
+  if not (translation_on t) then begin
+    (* Bare: physical = low bits of the virtual address. *)
+    let paddr = Int64.to_int (Int64.logand vaddr 0x7FFFFFFFFFL) in
+    paddr
+  end
+  else begin
+    let satp = Cpu_state.csr_raw t.state Csr.satp in
+    let root = Int64.to_int (Int64.logand satp 0xFFFFFFFFFFFL) * 4096 in
+    match Page_table.walk t.mem ~root ~vaddr with
+    | Page_table.Fault (_, steps) ->
+      (* Walk steps performed before the fault was discovered were real
+         physical accesses; validate and record them. *)
+      List.iter
+        (fun s ->
+          emit t ~kind:Walk ~vaddr:None ~paddr:s.Page_table.pte_addr ~width:8)
+        steps;
+      raise (Trap (page_fault_for op, vaddr))
+    | Page_table.Translated (leaf, steps) ->
+      List.iter
+        (fun s ->
+          emit t ~kind:Walk ~vaddr:None ~paddr:s.Page_table.pte_addr ~width:8)
+        steps;
+      let perm = leaf.Page_table.perm in
+      let mode = Cpu_state.mode t.state in
+      let perm_ok =
+        (match op with
+        | Op_fetch -> perm.Page_table.x
+        | Op_load -> perm.Page_table.r
+        | Op_store -> perm.Page_table.w)
+        &&
+        match mode with
+        | Priv.User -> perm.Page_table.u
+        | Priv.Supervisor -> not perm.Page_table.u (* no SUM support *)
+        | Priv.Machine -> true
+      in
+      if not perm_ok then raise (Trap (page_fault_for op, vaddr));
+      leaf.Page_table.paddr
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Memory operations                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_alignment op vaddr width =
+  if Int64.rem vaddr (Int64.of_int width) <> 0L then begin
+    let cause =
+      match op with
+      | Op_fetch -> Priv.Instr_addr_misaligned
+      | Op_load -> Priv.Load_addr_misaligned
+      | Op_store -> Priv.Store_addr_misaligned
+    in
+    raise (Trap (cause, vaddr))
+  end
+
+let load t ~vaddr ~width ~signed =
+  check_alignment Op_load vaddr width;
+  let paddr = translate t ~vaddr ~op:Op_load in
+  emit t ~kind:Load ~vaddr:(Some vaddr) ~paddr ~width;
+  let raw =
+    match width with
+    | 1 -> Int64.of_int (Phys_mem.read_u8 t.mem paddr)
+    | 2 -> Int64.of_int (Phys_mem.read_u16 t.mem paddr)
+    | 4 -> Int64.of_int (Phys_mem.read_u32 t.mem paddr)
+    | 8 -> Phys_mem.read_u64 t.mem paddr
+    | _ -> assert false
+  in
+  if signed && width < 8 then begin
+    let shift = 64 - (8 * width) in
+    Int64.shift_right (Int64.shift_left raw shift) shift
+  end
+  else raw
+
+let store t ~vaddr ~width ~value =
+  check_alignment Op_store vaddr width;
+  (* Any store invalidates an outstanding LR reservation (conservative
+     single-hart model). *)
+  t.reservation <- None;
+  let paddr = translate t ~vaddr ~op:Op_store in
+  emit t ~kind:Store ~vaddr:(Some vaddr) ~paddr ~width;
+  match width with
+  | 1 -> Phys_mem.write_u8 t.mem paddr (Int64.to_int (Int64.logand value 0xFFL))
+  | 2 -> Phys_mem.write_u16 t.mem paddr (Int64.to_int (Int64.logand value 0xFFFFL))
+  | 4 ->
+    Phys_mem.write_u32 t.mem paddr
+      (Int64.to_int (Int64.logand value 0xFFFFFFFFL))
+  | 8 -> Phys_mem.write_u64 t.mem paddr value
+  | _ -> assert false
+
+let fetch t ~vaddr =
+  check_alignment Op_fetch vaddr 4;
+  let paddr = translate t ~vaddr ~op:Op_fetch in
+  emit t ~kind:Fetch ~vaddr:(Some vaddr) ~paddr ~width:4;
+  Phys_mem.read_u32 t.mem paddr
+
+(* ------------------------------------------------------------------ *)
+(* ALU semantics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+
+let alu_compute op a b =
+  let shamt = Int64.to_int (Int64.logand b 63L) in
+  match (op : Instr.alu_op) with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Sll -> Int64.shift_left a shamt
+  | Slt -> if Int64.compare a b < 0 then 1L else 0L
+  | Sltu -> if Int64.unsigned_compare a b < 0 then 1L else 0L
+  | Xor -> Int64.logxor a b
+  | Srl -> Int64.shift_right_logical a shamt
+  | Sra -> Int64.shift_right a shamt
+  | Or -> Int64.logor a b
+  | And -> Int64.logand a b
+
+let alu_w_compute op a b =
+  let a32 = Int64.to_int32 a and b32 = Int64.to_int32 b in
+  let shamt = Int32.to_int (Int32.logand b32 31l) in
+  let r32 =
+    match (op : Instr.alu_w_op) with
+    | Addw -> Int32.add a32 b32
+    | Subw -> Int32.sub a32 b32
+    | Sllw -> Int32.shift_left a32 shamt
+    | Srlw -> Int32.shift_right_logical a32 shamt
+    | Sraw -> Int32.shift_right a32 shamt
+  in
+  Int64.of_int32 r32
+
+let mulhu a b =
+  let lo v = Int64.logand v 0xFFFFFFFFL in
+  let hi v = Int64.shift_right_logical v 32 in
+  let a0 = lo a and a1 = hi a and b0 = lo b and b1 = hi b in
+  let t = Int64.add (Int64.mul a1 b0) (hi (Int64.mul a0 b0)) in
+  let tl = Int64.add (lo t) (Int64.mul a0 b1) in
+  Int64.add (Int64.add (Int64.mul a1 b1) (hi t)) (hi tl)
+
+let mulh a b =
+  let r = mulhu a b in
+  let r = if Int64.compare a 0L < 0 then Int64.sub r b else r in
+  if Int64.compare b 0L < 0 then Int64.sub r a else r
+
+let mulhsu a b =
+  let r = mulhu a b in
+  if Int64.compare a 0L < 0 then Int64.sub r b else r
+
+let muldiv_compute op a b =
+  match (op : Instr.mul_op) with
+  | Mul -> Int64.mul a b
+  | Mulh -> mulh a b
+  | Mulhsu -> mulhsu a b
+  | Mulhu -> mulhu a b
+  | Div ->
+    if b = 0L then -1L
+    else if a = Int64.min_int && b = -1L then Int64.min_int
+    else Int64.div a b
+  | Divu -> if b = 0L then -1L else Int64.unsigned_div a b
+  | Rem ->
+    if b = 0L then a
+    else if a = Int64.min_int && b = -1L then 0L
+    else Int64.rem a b
+  | Remu -> if b = 0L then a else Int64.unsigned_rem a b
+
+let muldiv_w_compute op a b =
+  let a32 = Int64.to_int32 a and b32 = Int64.to_int32 b in
+  let r32 =
+    match (op : Instr.mul_w_op) with
+    | Mulw -> Int32.mul a32 b32
+    | Divw ->
+      if b32 = 0l then -1l
+      else if a32 = Int32.min_int && b32 = -1l then Int32.min_int
+      else Int32.div a32 b32
+    | Divuw -> if b32 = 0l then -1l else Int32.unsigned_div a32 b32
+    | Remw ->
+      if b32 = 0l then a32
+      else if a32 = Int32.min_int && b32 = -1l then 0l
+      else Int32.rem a32 b32
+    | Remuw -> if b32 = 0l then a32 else Int32.unsigned_rem a32 b32
+  in
+  Int64.of_int32 r32
+
+let amo_compute op a b =
+  match (op : Instr.amo_op) with
+  | Instr.Amoswap -> b
+  | Instr.Amoadd -> Int64.add a b
+  | Instr.Amoxor -> Int64.logxor a b
+  | Instr.Amoand -> Int64.logand a b
+  | Instr.Amoor -> Int64.logor a b
+  | Instr.Amomin -> if Int64.compare a b <= 0 then a else b
+  | Instr.Amomax -> if Int64.compare a b >= 0 then a else b
+  | Instr.Amominu -> if Int64.unsigned_compare a b <= 0 then a else b
+  | Instr.Amomaxu -> if Int64.unsigned_compare a b >= 0 then a else b
+
+let amo_bytes = function Instr.W -> 4 | Instr.D -> 8
+
+let branch_taken kind a b =
+  match (kind : Instr.branch_kind) with
+  | Beq -> a = b
+  | Bne -> a <> b
+  | Blt -> Int64.compare a b < 0
+  | Bge -> Int64.compare a b >= 0
+  | Bltu -> Int64.unsigned_compare a b < 0
+  | Bgeu -> Int64.unsigned_compare a b >= 0
+
+(* ------------------------------------------------------------------ *)
+(* Instruction execution                                               *)
+(* ------------------------------------------------------------------ *)
+
+let mstatus_tvm_bit = 20
+
+let tvm_set t =
+  Int64.logand
+    (Int64.shift_right_logical (Cpu_state.csr_raw t.state Csr.mstatus)
+       mstatus_tvm_bit)
+    1L
+  = 1L
+
+let check_jump_alignment target =
+  if Int64.logand target 3L <> 0L then
+    raise (Trap (Priv.Instr_addr_misaligned, target))
+
+(* Executes [instr]; returns the next pc. *)
+let exec t instr ~pc ~word =
+  let s = t.state in
+  let rget = Cpu_state.get_reg s in
+  let rset = Cpu_state.set_reg s in
+  let next = Int64.add pc 4L in
+  let illegal () = raise (Trap (Priv.Illegal_instruction, Int64.of_int word)) in
+  match (instr : Instr.t) with
+  | Lui { rd; imm } ->
+    rset rd (Int64.of_int imm);
+    next
+  | Auipc { rd; imm } ->
+    rset rd (Int64.add pc (Int64.of_int imm));
+    next
+  | Jal { rd; offset } ->
+    let target = Int64.add pc (Int64.of_int offset) in
+    check_jump_alignment target;
+    rset rd next;
+    target
+  | Jalr { rd; rs1; offset } ->
+    let target =
+      Int64.logand
+        (Int64.add (rget rs1) (Int64.of_int offset))
+        (Int64.lognot 1L)
+    in
+    check_jump_alignment target;
+    rset rd next;
+    target
+  | Branch { kind; rs1; rs2; offset } ->
+    if branch_taken kind (rget rs1) (rget rs2) then begin
+      let target = Int64.add pc (Int64.of_int offset) in
+      check_jump_alignment target;
+      target
+    end
+    else next
+  | Load { kind; rd; rs1; offset } ->
+    let vaddr = Int64.add (rget rs1) (Int64.of_int offset) in
+    let width = Instr.load_bytes kind in
+    let signed = match kind with Lbu | Lhu | Lwu -> false | _ -> true in
+    rset rd (load t ~vaddr ~width ~signed);
+    next
+  | Store { kind; rs1; rs2; offset } ->
+    let vaddr = Int64.add (rget rs1) (Int64.of_int offset) in
+    store t ~vaddr ~width:(Instr.store_bytes kind) ~value:(rget rs2);
+    next
+  | Alu_imm { op; rd; rs1; imm } ->
+    rset rd (alu_compute op (rget rs1) (Int64.of_int imm));
+    next
+  | Alu_imm_w { op; rd; rs1; imm } ->
+    rset rd (alu_w_compute op (rget rs1) (Int64.of_int imm));
+    next
+  | Alu { op; rd; rs1; rs2 } ->
+    rset rd (alu_compute op (rget rs1) (rget rs2));
+    next
+  | Alu_w { op; rd; rs1; rs2 } ->
+    rset rd (alu_w_compute op (rget rs1) (rget rs2));
+    next
+  | Muldiv { op; rd; rs1; rs2 } ->
+    rset rd (muldiv_compute op (rget rs1) (rget rs2));
+    next
+  | Muldiv_w { op; rd; rs1; rs2 } ->
+    rset rd (muldiv_w_compute op (rget rs1) (rget rs2));
+    next
+  | Csr { op; rd; src; csr } -> begin
+    (* satp access traps in S-mode when mstatus.TVM is set; the monitor
+       uses this to interpose on virtual-memory management. *)
+    if csr = Csr.satp && Cpu_state.mode s = Priv.Supervisor && tvm_set t then
+      illegal ();
+    let old =
+      match Cpu_state.read_csr s csr with
+      | Ok v -> v
+      | Error Cpu_state.Illegal_csr -> illegal ()
+    in
+    let arg =
+      match src with
+      | Instr.Rs rs1 -> rget rs1
+      | Instr.Uimm imm -> Int64.of_int imm
+    in
+    let skip_write =
+      match (op, src) with
+      | Instr.Csrrs, Instr.Rs 0 | Instr.Csrrc, Instr.Rs 0 -> true
+      | Instr.Csrrs, Instr.Uimm 0 | Instr.Csrrc, Instr.Uimm 0 -> true
+      | _ -> false
+    in
+    if not skip_write then begin
+      let nv =
+        match op with
+        | Instr.Csrrw -> arg
+        | Instr.Csrrs -> Int64.logor old arg
+        | Instr.Csrrc -> Int64.logand old (Int64.lognot arg)
+      in
+      match Cpu_state.write_csr s csr nv with
+      | Ok () -> ()
+      | Error Cpu_state.Illegal_csr -> illegal ()
+    end;
+    rset rd old;
+    next
+  end
+  | Lr { width; rd; rs1 } ->
+    let vaddr = rget rs1 in
+    let v = load t ~vaddr ~width:(amo_bytes width) ~signed:true in
+    t.reservation <- Some vaddr;
+    rset rd v;
+    next
+  | Sc { width; rd; rs1; rs2 } ->
+    let vaddr = rget rs1 in
+    (* Alignment is checked even on a failing SC. *)
+    check_alignment Op_store vaddr (amo_bytes width);
+    if t.reservation = Some vaddr then begin
+      store t ~vaddr ~width:(amo_bytes width) ~value:(rget rs2);
+      rset rd 0L
+    end
+    else begin
+      t.reservation <- None;
+      rset rd 1L
+    end;
+    next
+  | Amo { op; width; rd; rs1; rs2 } ->
+    let vaddr = rget rs1 in
+    let old = load t ~vaddr ~width:(amo_bytes width) ~signed:true in
+    let src =
+      match width with
+      | Instr.W -> Int64.of_int32 (Int64.to_int32 (rget rs2))
+      | Instr.D -> rget rs2
+    in
+    let nv = amo_compute op old src in
+    store t ~vaddr ~width:(amo_bytes width) ~value:nv;
+    rset rd old;
+    next
+  | Ecall ->
+    let cause =
+      match Cpu_state.mode s with
+      | Priv.User -> Priv.Ecall_from_u
+      | Priv.Supervisor -> Priv.Ecall_from_s
+      | Priv.Machine -> Priv.Ecall_from_m
+    in
+    raise (Trap (cause, 0L))
+  | Ebreak -> raise (Trap (Priv.Breakpoint, pc))
+  | Mret ->
+    if Cpu_state.mode s <> Priv.Machine then illegal ();
+    Cpu_state.pop_mret s
+  | Sret ->
+    if Cpu_state.mode s = Priv.User then illegal ();
+    Cpu_state.pop_sret s
+  | Wfi -> next
+  | Fence -> next
+  | Fence_i -> next
+  | Sfence_vma _ ->
+    (match Cpu_state.mode s with
+    | Priv.User -> illegal ()
+    | Priv.Supervisor -> if tvm_set t then illegal ()
+    | Priv.Machine -> ());
+    next
+  | Purge ->
+    if Cpu_state.mode s <> Priv.Machine then illegal ();
+    t.purged <- true;
+    (match t.on_purge with Some f -> f () | None -> ());
+    next
+
+(* ------------------------------------------------------------------ *)
+(* Traps and interrupts                                                *)
+(* ------------------------------------------------------------------ *)
+
+let delegated t cause =
+  let code = Int64.to_int (Int64.logand (Priv.cause_code cause) 0x3FL) in
+  let reg =
+    match cause with
+    | Priv.Exception _ -> Csr.medeleg
+    | Priv.Interrupt _ -> Csr.mideleg
+  in
+  Int64.logand (Int64.shift_right_logical (Cpu_state.csr_raw t.state reg) code) 1L
+  = 1L
+
+let trap_target t cause =
+  match Cpu_state.mode t.state with
+  | Priv.Machine -> Priv.Machine
+  | Priv.Supervisor | Priv.User ->
+    if delegated t cause then Priv.Supervisor else Priv.Machine
+
+(* Takes the trap: either hands it to firmware (monitor model) or performs
+   architectural trap entry.  Returns the trap_info for the step result. *)
+let take_trap t ~cause ~tval ~epc =
+  let target = trap_target t cause in
+  let handled_by_firmware =
+    target = Priv.Machine
+    &&
+    match t.firmware with
+    | Some fw -> fw t ~cause ~tval ~epc
+    | None -> false
+  in
+  if not handled_by_firmware then begin
+    let handler = Cpu_state.push_trap t.state ~target ~cause ~tval ~pc:epc in
+    Cpu_state.set_pc t.state handler
+  end;
+  { cause; tval; target }
+
+let pending_interrupt t =
+  let mip = Cpu_state.csr_raw t.state Csr.mip in
+  let mie_mask = Cpu_state.csr_raw t.state Csr.mie in
+  let pending = Int64.logand mip mie_mask in
+  if Int64.logand (Int64.shift_right_logical pending 7) 1L = 1L then begin
+    (* Machine timer interrupt: taken unless we are in M-mode with MIE
+       clear. *)
+    let take =
+      match Cpu_state.mode t.state with
+      | Priv.Machine -> Cpu_state.mie t.state
+      | Priv.Supervisor | Priv.User -> true
+    in
+    if take then Some (Priv.Interrupt Priv.Timer_interrupt) else None
+  end
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Step                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let step t =
+  t.accesses <- [];
+  t.purged <- false;
+  let pc = Cpu_state.pc t.state in
+  let finish ~executed ~trap =
+    Cpu_state.bump_counters t.state ~cycles:1;
+    { pc; executed; accesses = List.rev t.accesses; trap; purged = t.purged }
+  in
+  match pending_interrupt t with
+  | Some cause ->
+    let trap = take_trap t ~cause ~tval:0L ~epc:pc in
+    finish ~executed:None ~trap:(Some trap)
+  | None -> (
+    match
+      let word = fetch t ~vaddr:pc in
+      match Encode.decode word with
+      | None -> raise (Trap (Priv.Illegal_instruction, Int64.of_int word))
+      | Some instr -> (instr, word)
+    with
+    | exception Trap (cause, tval) ->
+      let trap = take_trap t ~cause:(Priv.Exception cause) ~tval ~epc:pc in
+      finish ~executed:None ~trap:(Some trap)
+    | instr, word -> (
+      match exec t instr ~pc ~word with
+      | next_pc ->
+        Cpu_state.set_pc t.state next_pc;
+        finish ~executed:(Some instr) ~trap:None
+      | exception Trap (cause, tval) ->
+        let trap = take_trap t ~cause:(Priv.Exception cause) ~tval ~epc:pc in
+        finish ~executed:(Some instr) ~trap:(Some trap)))
+
+let run t ~max_steps ~until =
+  let rec go n =
+    if n >= max_steps || until t then n
+    else begin
+      ignore (step t);
+      go (n + 1)
+    end
+  in
+  go 0
+
+let load_program t (p : Asm.program) =
+  Array.iteri
+    (fun i w -> Phys_mem.write_u32 t.mem (p.Asm.base + (4 * i)) w)
+    p.Asm.words

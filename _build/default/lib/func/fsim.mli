@@ -1,0 +1,73 @@
+(** Functional (architectural) simulator for one hart.
+
+    Executes real encoded instructions out of {!Mi6_mem.Phys_mem}, with
+    Sv39 translation, privilege modes, traps, and the MI6 hardware checks:
+
+    - {b DRAM-region validation} (paper Section 5.3): when running below
+      machine mode, {e every} physical access — instruction fetch, load,
+      store, and each page-table-walk step — must hit a region whose bit is
+      set in the [mregions] CSR; a violating access raises
+      {!Priv.Region_fault} and, crucially, the access is {e never emitted}
+      to the memory system (the returned access list omits it).
+    - {b Machine-mode fetch restriction} (Section 6.1): when
+      [mfetchmask] is nonzero, machine-mode fetches must satisfy
+      [pa land mfetchmask = mfetchbase], confining the security monitor's
+      instruction stream to its own footprint.
+    - {b purge} (Section 6): machine-mode only; architecturally a no-op
+      that signals the microarchitectural flush through {!set_on_purge}.
+
+    A {e firmware handler} models the security monitor: traps that target
+    machine mode are offered to the handler first, which mutates state
+    (implementing SM calls) and reports whether it handled the trap.  This
+    is the documented substitution for running monitor machine code. *)
+
+type access_kind = Fetch | Load | Store | Walk
+
+type access = {
+  kind : access_kind;
+  vaddr : int64 option;  (** None for walk steps and bare accesses *)
+  paddr : int;
+  width : int;
+}
+
+type trap_info = { cause : Priv.cause; tval : int64; target : Priv.mode }
+
+type step_result = {
+  pc : int64;  (** pc of the instruction attempted this step *)
+  executed : Instr.t option;  (** None when the fetch itself faulted *)
+  accesses : access list;  (** emitted physical accesses, program order *)
+  trap : trap_info option;
+  purged : bool;
+}
+
+type t
+
+type firmware = t -> cause:Priv.cause -> tval:int64 -> epc:int64 -> bool
+
+val create : ?regions:Addr.regions -> mem:Phys_mem.t -> hartid:int -> unit -> t
+val mem : t -> Phys_mem.t
+val state : t -> Cpu_state.t
+val regions : t -> Addr.regions
+
+(** [set_firmware t fw] installs the machine-mode trap handler model. *)
+val set_firmware : t -> firmware -> unit
+
+(** [set_on_purge t f] observes executed purges (the machine model uses
+    this to scrub the core's timing-model state). *)
+val set_on_purge : t -> (unit -> unit) -> unit
+
+(** Machine timer interrupt pending bit (MIP.MTIP). *)
+val raise_timer_interrupt : t -> unit
+
+val clear_timer_interrupt : t -> unit
+
+(** [step t] executes one instruction (or takes one pending trap). *)
+val step : t -> step_result
+
+(** [run t ~max_steps ~until] steps until [until t] holds or the budget is
+    exhausted; returns the number of steps taken. *)
+val run : t -> max_steps:int -> until:(t -> bool) -> int
+
+(** [load_program t p] copies the encoded words into physical memory at
+    [p.base]. *)
+val load_program : t -> Asm.program -> unit

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Bytes Char Encode Hashtbl Instr List Printf Reg

@@ -1,0 +1,1 @@
+lib/isa/instr.ml: Csr Format List Reg String

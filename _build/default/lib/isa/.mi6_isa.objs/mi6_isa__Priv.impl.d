@@ -1,0 +1,1 @@
+lib/isa/priv.ml: Format Int64 Option Printf

@@ -1,0 +1,1 @@
+lib/isa/priv.mli: Format

@@ -1,0 +1,101 @@
+type item =
+  | Label of string
+  | I of Instr.t
+  | Jal_to of Reg.t * string
+  | Br_to of Instr.branch_kind * Reg.t * Reg.t * string
+  | Li of Reg.t * int
+  | La of Reg.t * string
+  | Call of string
+  | J of string
+  | Ret
+  | Nop
+
+type program = {
+  base : int;
+  words : int array;
+  labels : (string * int) list;
+}
+
+(* Number of concrete instructions an item expands to. *)
+let item_length = function
+  | Label _ -> 0
+  | I _ | Jal_to _ | Br_to _ | Call _ | J _ | Ret | Nop -> 1
+  | Li _ | La _ -> 2
+
+(* Split a 32-bit signed constant into (hi20 << 12) + lo12 where lo12 is
+   sign-extended, the standard lui/addi idiom. *)
+let split_const v =
+  if v < -0x80000000 || v > 0x7FFFFFFF then
+    invalid_arg (Printf.sprintf "Asm.Li: constant %d exceeds 32 bits" v);
+  let lo = ((v land 0xFFF) lxor 0x800) - 0x800 in
+  let hi = v - lo in
+  (hi land 0xFFFFFFFF, lo)
+
+let assemble ~base items =
+  (* Pass 1: lay out addresses and collect labels. *)
+  let labels = Hashtbl.create 16 in
+  let pc = ref base in
+  List.iter
+    (fun item ->
+      (match item with
+      | Label name ->
+        if Hashtbl.mem labels name then
+          failwith (Printf.sprintf "Asm: duplicate label %S" name)
+        else Hashtbl.add labels name !pc
+      | _ -> ());
+      pc := !pc + (4 * item_length item))
+    items;
+  let find name =
+    match Hashtbl.find_opt labels name with
+    | Some addr -> addr
+    | None -> failwith (Printf.sprintf "Asm: undefined label %S" name)
+  in
+  (* Pass 2: expand and encode. *)
+  let out = ref [] in
+  let pc = ref base in
+  let emit instr =
+    out := Encode.encode instr :: !out;
+    pc := !pc + 4
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Label _ -> ()
+      | I instr -> emit instr
+      | Jal_to (rd, l) -> emit (Jal { rd; offset = find l - !pc })
+      | Br_to (kind, rs1, rs2, l) ->
+        emit (Branch { kind; rs1; rs2; offset = find l - !pc })
+      | Call l -> emit (Jal { rd = Reg.ra; offset = find l - !pc })
+      | J l -> emit (Jal { rd = Reg.x0; offset = find l - !pc })
+      | Ret -> emit (Jalr { rd = Reg.x0; rs1 = Reg.ra; offset = 0 })
+      | Nop -> emit (Alu_imm { op = Add; rd = Reg.x0; rs1 = Reg.x0; imm = 0 })
+      | Li (rd, v) ->
+        let hi, lo = split_const v in
+        (* Sign-extend hi into the U-type range. *)
+        let hi = ((hi lxor 0x80000000) - 0x80000000) in
+        emit (Lui { rd; imm = hi });
+        emit (Alu_imm { op = Add; rd; rs1 = rd; imm = lo })
+      | La (rd, l) ->
+        let hi, lo = split_const (find l) in
+        let hi = ((hi lxor 0x80000000) - 0x80000000) in
+        emit (Lui { rd; imm = hi });
+        emit (Alu_imm { op = Add; rd; rs1 = rd; imm = lo }))
+    items;
+  {
+    base;
+    words = Array.of_list (List.rev !out);
+    labels = Hashtbl.fold (fun k v acc -> (k, v) :: acc) labels [];
+  }
+
+let lookup p label = List.assoc label p.labels
+let size_bytes p = 4 * Array.length p.words
+
+let to_bytes p =
+  let buf = Bytes.create (size_bytes p) in
+  Array.iteri
+    (fun i w ->
+      for b = 0 to 3 do
+        Bytes.set buf ((4 * i) + b) (Char.chr ((w lsr (8 * b)) land 0xFF))
+      done)
+    p.words;
+  Bytes.unsafe_to_string buf

@@ -1,0 +1,40 @@
+(** A tiny two-pass assembler for writing test and example programs.
+
+    Programs are lists of {!item}s; label references in control flow are
+    resolved against the program base address.  Pseudo-instructions expand
+    to fixed-length sequences so label offsets are stable across passes. *)
+
+type item =
+  | Label of string
+  | I of Instr.t  (** a concrete instruction *)
+  | Jal_to of Reg.t * string  (** [jal rd, label] *)
+  | Br_to of Instr.branch_kind * Reg.t * Reg.t * string
+      (** conditional branch to a label *)
+  | Li of Reg.t * int
+      (** load a signed 32-bit constant; expands to [lui; addi] *)
+  | La of Reg.t * string  (** load a label's absolute address (lui; addi) *)
+  | Call of string  (** [jal ra, label] *)
+  | J of string  (** [jal x0, label] *)
+  | Ret  (** [jalr x0, 0(ra)] *)
+  | Nop
+
+type program = {
+  base : int;  (** load address of the first instruction *)
+  words : int array;  (** encoded instructions *)
+  labels : (string * int) list;  (** label -> absolute address *)
+}
+
+(** [assemble ~base items] resolves labels and encodes.  Raises [Failure] on
+    undefined or duplicate labels, and [Invalid_argument] when a resolved
+    offset does not fit its encoding. *)
+val assemble : base:int -> item list -> program
+
+(** [lookup p label] is the absolute address of [label].  Raises
+    [Not_found]. *)
+val lookup : program -> string -> int
+
+(** [size_bytes p] is the code size. *)
+val size_bytes : program -> int
+
+(** [to_bytes p] is the little-endian byte image of the code. *)
+val to_bytes : program -> string

@@ -1,0 +1,62 @@
+type t = int
+
+let mstatus = 0x300
+let misa = 0x301
+let medeleg = 0x302
+let mideleg = 0x303
+let mie = 0x304
+let mtvec = 0x305
+let mscratch = 0x340
+let mepc = 0x341
+let mcause = 0x342
+let mtval = 0x343
+let mip = 0x344
+let mhartid = 0xF14
+let mcycle = 0xB00
+let minstret = 0xB02
+
+let sstatus = 0x100
+let sie = 0x104
+let stvec = 0x105
+let sscratch = 0x140
+let sepc = 0x141
+let scause = 0x142
+let stval = 0x143
+let sip = 0x144
+let satp = 0x180
+
+let cycle = 0xC00
+let instret = 0xC02
+
+(* MI6 custom CSRs live in the machine-mode custom read/write block
+   0x7C0-0x7FF. *)
+let mregions = 0x7C0
+let mfetchbase = 0x7C1
+let mfetchmask = 0x7C2
+let mspec = 0x7C3
+
+let min_priv csr =
+  match (csr lsr 8) land 0x3 with
+  | 0 -> Priv.User
+  | 1 -> Priv.Supervisor
+  | _ -> Priv.Machine
+
+let table =
+  [
+    (mstatus, "mstatus"); (misa, "misa"); (medeleg, "medeleg");
+    (mideleg, "mideleg"); (mie, "mie"); (mtvec, "mtvec");
+    (mscratch, "mscratch"); (mepc, "mepc"); (mcause, "mcause");
+    (mtval, "mtval"); (mip, "mip"); (mhartid, "mhartid");
+    (mcycle, "mcycle"); (minstret, "minstret"); (sstatus, "sstatus");
+    (sie, "sie"); (stvec, "stvec"); (sscratch, "sscratch"); (sepc, "sepc");
+    (scause, "scause"); (stval, "stval"); (sip, "sip"); (satp, "satp");
+    (cycle, "cycle"); (instret, "instret"); (mregions, "mregions");
+    (mfetchbase, "mfetchbase"); (mfetchmask, "mfetchmask"); (mspec, "mspec");
+  ]
+
+let is_known csr = List.mem_assoc csr table
+
+let name csr =
+  match List.assoc_opt csr table with
+  | Some n -> n
+  | None -> Printf.sprintf "csr_0x%03x" csr

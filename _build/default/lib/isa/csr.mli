@@ -1,0 +1,59 @@
+(** Control and status register addresses, including MI6's custom CSRs.
+
+    The MI6 additions (machine-mode only, per Sections 5.3 and 6.1):
+    - [mregions]: 64-bit DRAM-region permission bitvector; the core refuses
+      to emit any access (speculative or not) to a region whose bit is clear
+      and raises {!Priv.Region_fault} when such an access becomes
+      non-speculative.
+    - [mfetchbase] / [mfetchmask]: fetch-range restriction active in machine
+      mode, confining the security monitor's (speculative) instruction
+      fetches to its own footprint.
+    - [mspec]: speculation throttle; bit 0 set = memory instructions issue
+      non-speculatively (ROB must be empty), used while the monitor moves
+      data across protection domains. *)
+
+type t = int
+
+val mstatus : t
+val misa : t
+val medeleg : t
+val mideleg : t
+val mie : t
+val mtvec : t
+val mscratch : t
+val mepc : t
+val mcause : t
+val mtval : t
+val mip : t
+val mhartid : t
+val mcycle : t
+val minstret : t
+
+val sstatus : t
+val sie : t
+val stvec : t
+val sscratch : t
+val sepc : t
+val scause : t
+val stval : t
+val sip : t
+val satp : t
+
+val cycle : t
+val instret : t
+
+(** MI6 custom machine-mode CSRs. *)
+val mregions : t
+
+val mfetchbase : t
+val mfetchmask : t
+val mspec : t
+
+(** [min_priv csr] is the least privilege mode allowed to access the CSR
+    (from the standard address-space convention, bits 9:8). *)
+val min_priv : t -> Priv.mode
+
+(** [is_known csr] holds for every CSR listed above. *)
+val is_known : t -> bool
+
+val name : t -> string

@@ -1,0 +1,349 @@
+open Instr
+
+let mask32 = 0xFFFFFFFF
+
+let check_range name v lo hi =
+  if v < lo || v > hi then
+    invalid_arg (Printf.sprintf "Encode: %s immediate %d out of range" name v)
+
+let check_aligned name v =
+  if v land 1 <> 0 then
+    invalid_arg (Printf.sprintf "Encode: %s offset %d is odd" name v)
+
+(* Field extractors for decoding. *)
+let bits w hi lo = (w lsr lo) land ((1 lsl (hi - lo + 1)) - 1)
+let sign_extend v width = (v lxor (1 lsl (width - 1))) - (1 lsl (width - 1))
+
+let opcode_lui = 0x37
+let opcode_auipc = 0x17
+let opcode_jal = 0x6F
+let opcode_jalr = 0x67
+let opcode_branch = 0x63
+let opcode_load = 0x03
+let opcode_store = 0x23
+let opcode_op_imm = 0x13
+let opcode_op_imm32 = 0x1B
+let opcode_op = 0x33
+let opcode_op32 = 0x3B
+let opcode_system = 0x73
+let opcode_misc_mem = 0x0F
+let opcode_custom0 = 0x0B (* purge *)
+let opcode_amo = 0x2F
+
+let r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd ~opcode =
+  (funct7 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (rd lsl 7) lor opcode
+
+let i_type ~imm ~rs1 ~funct3 ~rd ~opcode =
+  check_range "I-type" imm (-2048) 2047;
+  ((imm land 0xFFF) lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12) lor (rd lsl 7)
+  lor opcode
+
+let s_type ~imm ~rs2 ~rs1 ~funct3 ~opcode =
+  check_range "S-type" imm (-2048) 2047;
+  let imm = imm land 0xFFF in
+  (bits imm 11 5 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (bits imm 4 0 lsl 7) lor opcode
+
+let b_type ~offset ~rs2 ~rs1 ~funct3 ~opcode =
+  check_aligned "branch" offset;
+  check_range "B-type" offset (-4096) 4094;
+  let imm = offset land 0x1FFF in
+  (bits imm 12 12 lsl 31) lor (bits imm 10 5 lsl 25) lor (rs2 lsl 20)
+  lor (rs1 lsl 15) lor (funct3 lsl 12) lor (bits imm 4 1 lsl 8)
+  lor (bits imm 11 11 lsl 7) lor opcode
+
+let u_type ~imm ~rd ~opcode =
+  if imm land 0xFFF <> 0 then
+    invalid_arg "Encode: U-type immediate has low bits set";
+  check_range "U-type" (imm asr 12) (-524288) 524287;
+  ((imm asr 12) land 0xFFFFF) lsl 12 lor (rd lsl 7) lor opcode
+
+let j_type ~offset ~rd ~opcode =
+  check_aligned "jal" offset;
+  check_range "J-type" offset (-1048576) 1048574;
+  let imm = offset land 0x1FFFFF in
+  (bits imm 20 20 lsl 31) lor (bits imm 10 1 lsl 21) lor (bits imm 11 11 lsl 20)
+  lor (bits imm 19 12 lsl 12) lor (rd lsl 7) lor opcode
+
+let branch_funct3 = function
+  | Beq -> 0 | Bne -> 1 | Blt -> 4 | Bge -> 5 | Bltu -> 6 | Bgeu -> 7
+
+let load_funct3 = function
+  | Lb -> 0 | Lh -> 1 | Lw -> 2 | Ld -> 3 | Lbu -> 4 | Lhu -> 5 | Lwu -> 6
+
+let store_funct3 = function Sb -> 0 | Sh -> 1 | Sw -> 2 | Sd -> 3
+
+let alu_funct3 = function
+  | Add | Sub -> 0 | Sll -> 1 | Slt -> 2 | Sltu -> 3 | Xor -> 4
+  | Srl | Sra -> 5 | Or -> 6 | And -> 7
+
+let mul_funct3 = function
+  | Mul -> 0 | Mulh -> 1 | Mulhsu -> 2 | Mulhu -> 3 | Div -> 4 | Divu -> 5
+  | Rem -> 6 | Remu -> 7
+
+let mul_w_funct3 = function
+  | Mulw -> 0 | Divw -> 4 | Divuw -> 5 | Remw -> 6 | Remuw -> 7
+
+(* AMO funct5 field (bits 31:27); aq/rl bits are encoded as zero. *)
+let amo_funct5 = function
+  | Amoadd -> 0x00
+  | Amoswap -> 0x01
+  | Amoxor -> 0x04
+  | Amoand -> 0x0C
+  | Amoor -> 0x08
+  | Amomin -> 0x10
+  | Amomax -> 0x14
+  | Amominu -> 0x18
+  | Amomaxu -> 0x1C
+
+let amo_funct5_rev = function
+  | 0x00 -> Some Amoadd
+  | 0x01 -> Some Amoswap
+  | 0x04 -> Some Amoxor
+  | 0x0C -> Some Amoand
+  | 0x08 -> Some Amoor
+  | 0x10 -> Some Amomin
+  | 0x14 -> Some Amomax
+  | 0x18 -> Some Amominu
+  | 0x1C -> Some Amomaxu
+  | _ -> None
+
+let amo_width_funct3 = function W -> 2 | D -> 3
+
+let encode instr =
+  let w =
+    match instr with
+    | Lui { rd; imm } -> u_type ~imm ~rd ~opcode:opcode_lui
+    | Auipc { rd; imm } -> u_type ~imm ~rd ~opcode:opcode_auipc
+    | Jal { rd; offset } -> j_type ~offset ~rd ~opcode:opcode_jal
+    | Jalr { rd; rs1; offset } ->
+      i_type ~imm:offset ~rs1 ~funct3:0 ~rd ~opcode:opcode_jalr
+    | Branch { kind; rs1; rs2; offset } ->
+      b_type ~offset ~rs2 ~rs1 ~funct3:(branch_funct3 kind)
+        ~opcode:opcode_branch
+    | Load { kind; rd; rs1; offset } ->
+      i_type ~imm:offset ~rs1 ~funct3:(load_funct3 kind) ~rd
+        ~opcode:opcode_load
+    | Store { kind; rs1; rs2; offset } ->
+      s_type ~imm:offset ~rs2 ~rs1 ~funct3:(store_funct3 kind)
+        ~opcode:opcode_store
+    | Alu_imm { op = Sub; _ } -> invalid_arg "Encode: subi does not exist"
+    | Alu_imm { op = Sll; rd; rs1; imm } ->
+      check_range "slli" imm 0 63;
+      i_type ~imm ~rs1 ~funct3:1 ~rd ~opcode:opcode_op_imm
+    | Alu_imm { op = Srl; rd; rs1; imm } ->
+      check_range "srli" imm 0 63;
+      i_type ~imm ~rs1 ~funct3:5 ~rd ~opcode:opcode_op_imm
+    | Alu_imm { op = Sra; rd; rs1; imm } ->
+      check_range "srai" imm 0 63;
+      i_type ~imm:(imm lor 0x400) ~rs1 ~funct3:5 ~rd ~opcode:opcode_op_imm
+    | Alu_imm { op; rd; rs1; imm } ->
+      i_type ~imm ~rs1 ~funct3:(alu_funct3 op) ~rd ~opcode:opcode_op_imm
+    | Alu_imm_w { op = Addw; rd; rs1; imm } ->
+      i_type ~imm ~rs1 ~funct3:0 ~rd ~opcode:opcode_op_imm32
+    | Alu_imm_w { op = Sllw; rd; rs1; imm } ->
+      check_range "slliw" imm 0 31;
+      i_type ~imm ~rs1 ~funct3:1 ~rd ~opcode:opcode_op_imm32
+    | Alu_imm_w { op = Srlw; rd; rs1; imm } ->
+      check_range "srliw" imm 0 31;
+      i_type ~imm ~rs1 ~funct3:5 ~rd ~opcode:opcode_op_imm32
+    | Alu_imm_w { op = Sraw; rd; rs1; imm } ->
+      check_range "sraiw" imm 0 31;
+      i_type ~imm:(imm lor 0x400) ~rs1 ~funct3:5 ~rd ~opcode:opcode_op_imm32
+    | Alu_imm_w { op = Subw; _ } -> invalid_arg "Encode: subiw does not exist"
+    | Alu { op; rd; rs1; rs2 } ->
+      let funct7 = match op with Sub | Sra -> 0x20 | _ -> 0 in
+      r_type ~funct7 ~rs2 ~rs1 ~funct3:(alu_funct3 op) ~rd ~opcode:opcode_op
+    | Alu_w { op; rd; rs1; rs2 } ->
+      let funct7 = match op with Subw | Sraw -> 0x20 | _ -> 0 in
+      let funct3 =
+        match op with Addw | Subw -> 0 | Sllw -> 1 | Srlw | Sraw -> 5
+      in
+      r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd ~opcode:opcode_op32
+    | Muldiv { op; rd; rs1; rs2 } ->
+      r_type ~funct7:1 ~rs2 ~rs1 ~funct3:(mul_funct3 op) ~rd ~opcode:opcode_op
+    | Muldiv_w { op; rd; rs1; rs2 } ->
+      r_type ~funct7:1 ~rs2 ~rs1 ~funct3:(mul_w_funct3 op) ~rd
+        ~opcode:opcode_op32
+    | Csr { op; rd; src; csr } ->
+      let base = match op with Csrrw -> 1 | Csrrs -> 2 | Csrrc -> 3 in
+      let funct3, field =
+        match src with
+        | Rs rs1 -> (base, rs1)
+        | Uimm imm ->
+          check_range "csr uimm" imm 0 31;
+          (base lor 4, imm)
+      in
+      (csr lsl 20) lor (field lsl 15) lor (funct3 lsl 12) lor (rd lsl 7)
+      lor opcode_system
+    | Ecall -> i_type ~imm:0 ~rs1:0 ~funct3:0 ~rd:0 ~opcode:opcode_system
+    | Ebreak -> i_type ~imm:1 ~rs1:0 ~funct3:0 ~rd:0 ~opcode:opcode_system
+    | Sret -> i_type ~imm:0x102 ~rs1:0 ~funct3:0 ~rd:0 ~opcode:opcode_system
+    | Mret -> i_type ~imm:0x302 ~rs1:0 ~funct3:0 ~rd:0 ~opcode:opcode_system
+    | Wfi -> i_type ~imm:0x105 ~rs1:0 ~funct3:0 ~rd:0 ~opcode:opcode_system
+    | Sfence_vma { rs1; rs2 } ->
+      r_type ~funct7:0x09 ~rs2 ~rs1 ~funct3:0 ~rd:0 ~opcode:opcode_system
+    | Fence -> i_type ~imm:0xFF ~rs1:0 ~funct3:0 ~rd:0 ~opcode:opcode_misc_mem
+    | Fence_i -> i_type ~imm:0 ~rs1:0 ~funct3:1 ~rd:0 ~opcode:opcode_misc_mem
+    | Lr { width; rd; rs1 } ->
+      r_type ~funct7:(0x02 lsl 2) ~rs2:0 ~rs1
+        ~funct3:(amo_width_funct3 width) ~rd ~opcode:opcode_amo
+    | Sc { width; rd; rs1; rs2 } ->
+      r_type ~funct7:(0x03 lsl 2) ~rs2 ~rs1 ~funct3:(amo_width_funct3 width)
+        ~rd ~opcode:opcode_amo
+    | Amo { op; width; rd; rs1; rs2 } ->
+      r_type
+        ~funct7:(amo_funct5 op lsl 2)
+        ~rs2 ~rs1 ~funct3:(amo_width_funct3 width) ~rd ~opcode:opcode_amo
+    | Purge -> opcode_custom0
+  in
+  w land mask32
+
+let decode_branch funct3 =
+  match funct3 with
+  | 0 -> Some Beq | 1 -> Some Bne | 4 -> Some Blt | 5 -> Some Bge
+  | 6 -> Some Bltu | 7 -> Some Bgeu | _ -> None
+
+let decode_load funct3 =
+  match funct3 with
+  | 0 -> Some Lb | 1 -> Some Lh | 2 -> Some Lw | 3 -> Some Ld | 4 -> Some Lbu
+  | 5 -> Some Lhu | 6 -> Some Lwu | _ -> None
+
+let decode_store funct3 =
+  match funct3 with
+  | 0 -> Some Sb | 1 -> Some Sh | 2 -> Some Sw | 3 -> Some Sd | _ -> None
+
+let decode w =
+  let opcode = bits w 6 0 in
+  let rd = bits w 11 7 in
+  let funct3 = bits w 14 12 in
+  let rs1 = bits w 19 15 in
+  let rs2 = bits w 24 20 in
+  let funct7 = bits w 31 25 in
+  let i_imm = sign_extend (bits w 31 20) 12 in
+  let s_imm = sign_extend ((bits w 31 25 lsl 5) lor bits w 11 7) 12 in
+  let b_imm =
+    sign_extend
+      ((bits w 31 31 lsl 12) lor (bits w 7 7 lsl 11) lor (bits w 30 25 lsl 5)
+      lor (bits w 11 8 lsl 1))
+      13
+  in
+  let u_imm = sign_extend (bits w 31 12) 20 lsl 12 in
+  let j_imm =
+    sign_extend
+      ((bits w 31 31 lsl 20) lor (bits w 19 12 lsl 12) lor (bits w 20 20 lsl 11)
+      lor (bits w 30 21 lsl 1))
+      21
+  in
+  if opcode = opcode_lui then Some (Lui { rd; imm = u_imm })
+  else if opcode = opcode_auipc then Some (Auipc { rd; imm = u_imm })
+  else if opcode = opcode_jal then Some (Jal { rd; offset = j_imm })
+  else if opcode = opcode_jalr && funct3 = 0 then
+    Some (Jalr { rd; rs1; offset = i_imm })
+  else if opcode = opcode_branch then
+    Option.map
+      (fun kind -> Branch { kind; rs1; rs2; offset = b_imm })
+      (decode_branch funct3)
+  else if opcode = opcode_load then
+    Option.map
+      (fun kind -> Load { kind; rd; rs1; offset = i_imm })
+      (decode_load funct3)
+  else if opcode = opcode_store then
+    Option.map
+      (fun kind -> Store { kind; rs1; rs2; offset = s_imm })
+      (decode_store funct3)
+  else if opcode = opcode_op_imm then
+    match funct3 with
+    | 0 -> Some (Alu_imm { op = Add; rd; rs1; imm = i_imm })
+    | 1 when bits w 31 26 = 0 ->
+      Some (Alu_imm { op = Sll; rd; rs1; imm = bits w 25 20 })
+    | 2 -> Some (Alu_imm { op = Slt; rd; rs1; imm = i_imm })
+    | 3 -> Some (Alu_imm { op = Sltu; rd; rs1; imm = i_imm })
+    | 4 -> Some (Alu_imm { op = Xor; rd; rs1; imm = i_imm })
+    | 5 when bits w 31 26 = 0 ->
+      Some (Alu_imm { op = Srl; rd; rs1; imm = bits w 25 20 })
+    | 5 when bits w 31 26 = 0x10 ->
+      Some (Alu_imm { op = Sra; rd; rs1; imm = bits w 25 20 })
+    | 6 -> Some (Alu_imm { op = Or; rd; rs1; imm = i_imm })
+    | 7 -> Some (Alu_imm { op = And; rd; rs1; imm = i_imm })
+    | _ -> None
+  else if opcode = opcode_op_imm32 then
+    match funct3 with
+    | 0 -> Some (Alu_imm_w { op = Addw; rd; rs1; imm = i_imm })
+    | 1 when funct7 = 0 ->
+      Some (Alu_imm_w { op = Sllw; rd; rs1; imm = rs2 })
+    | 5 when funct7 = 0 ->
+      Some (Alu_imm_w { op = Srlw; rd; rs1; imm = rs2 })
+    | 5 when funct7 = 0x20 ->
+      Some (Alu_imm_w { op = Sraw; rd; rs1; imm = rs2 })
+    | _ -> None
+  else if opcode = opcode_op then
+    match (funct7, funct3) with
+    | 0x00, 0 -> Some (Alu { op = Add; rd; rs1; rs2 })
+    | 0x20, 0 -> Some (Alu { op = Sub; rd; rs1; rs2 })
+    | 0x00, 1 -> Some (Alu { op = Sll; rd; rs1; rs2 })
+    | 0x00, 2 -> Some (Alu { op = Slt; rd; rs1; rs2 })
+    | 0x00, 3 -> Some (Alu { op = Sltu; rd; rs1; rs2 })
+    | 0x00, 4 -> Some (Alu { op = Xor; rd; rs1; rs2 })
+    | 0x00, 5 -> Some (Alu { op = Srl; rd; rs1; rs2 })
+    | 0x20, 5 -> Some (Alu { op = Sra; rd; rs1; rs2 })
+    | 0x00, 6 -> Some (Alu { op = Or; rd; rs1; rs2 })
+    | 0x00, 7 -> Some (Alu { op = And; rd; rs1; rs2 })
+    | 0x01, 0 -> Some (Muldiv { op = Mul; rd; rs1; rs2 })
+    | 0x01, 1 -> Some (Muldiv { op = Mulh; rd; rs1; rs2 })
+    | 0x01, 2 -> Some (Muldiv { op = Mulhsu; rd; rs1; rs2 })
+    | 0x01, 3 -> Some (Muldiv { op = Mulhu; rd; rs1; rs2 })
+    | 0x01, 4 -> Some (Muldiv { op = Div; rd; rs1; rs2 })
+    | 0x01, 5 -> Some (Muldiv { op = Divu; rd; rs1; rs2 })
+    | 0x01, 6 -> Some (Muldiv { op = Rem; rd; rs1; rs2 })
+    | 0x01, 7 -> Some (Muldiv { op = Remu; rd; rs1; rs2 })
+    | _ -> None
+  else if opcode = opcode_op32 then
+    match (funct7, funct3) with
+    | 0x00, 0 -> Some (Alu_w { op = Addw; rd; rs1; rs2 })
+    | 0x20, 0 -> Some (Alu_w { op = Subw; rd; rs1; rs2 })
+    | 0x00, 1 -> Some (Alu_w { op = Sllw; rd; rs1; rs2 })
+    | 0x00, 5 -> Some (Alu_w { op = Srlw; rd; rs1; rs2 })
+    | 0x20, 5 -> Some (Alu_w { op = Sraw; rd; rs1; rs2 })
+    | 0x01, 0 -> Some (Muldiv_w { op = Mulw; rd; rs1; rs2 })
+    | 0x01, 4 -> Some (Muldiv_w { op = Divw; rd; rs1; rs2 })
+    | 0x01, 5 -> Some (Muldiv_w { op = Divuw; rd; rs1; rs2 })
+    | 0x01, 6 -> Some (Muldiv_w { op = Remw; rd; rs1; rs2 })
+    | 0x01, 7 -> Some (Muldiv_w { op = Remuw; rd; rs1; rs2 })
+    | _ -> None
+  else if opcode = opcode_system then
+    match funct3 with
+    | 0 -> (
+      match (funct7, rs2, rs1, rd) with
+      | 0x00, 0, 0, 0 -> Some Ecall
+      | 0x00, 1, 0, 0 -> Some Ebreak
+      | 0x08, 2, 0, 0 -> Some Sret
+      | 0x18, 2, 0, 0 -> Some Mret
+      | 0x08, 5, 0, 0 -> Some Wfi
+      | 0x09, _, _, 0 -> Some (Sfence_vma { rs1; rs2 })
+      | _ -> None)
+    | 1 -> Some (Csr { op = Csrrw; rd; src = Rs rs1; csr = bits w 31 20 })
+    | 2 -> Some (Csr { op = Csrrs; rd; src = Rs rs1; csr = bits w 31 20 })
+    | 3 -> Some (Csr { op = Csrrc; rd; src = Rs rs1; csr = bits w 31 20 })
+    | 5 -> Some (Csr { op = Csrrw; rd; src = Uimm rs1; csr = bits w 31 20 })
+    | 6 -> Some (Csr { op = Csrrs; rd; src = Uimm rs1; csr = bits w 31 20 })
+    | 7 -> Some (Csr { op = Csrrc; rd; src = Uimm rs1; csr = bits w 31 20 })
+    | _ -> None
+  else if opcode = opcode_misc_mem then
+    match funct3 with 0 -> Some Fence | 1 -> Some Fence_i | _ -> None
+  else if opcode = opcode_amo then begin
+    let width = match funct3 with 2 -> Some W | 3 -> Some D | _ -> None in
+    match width with
+    | None -> None
+    | Some width -> (
+      match funct7 lsr 2 with
+      | 0x02 when rs2 = 0 -> Some (Lr { width; rd; rs1 })
+      | 0x03 -> Some (Sc { width; rd; rs1; rs2 })
+      | f5 ->
+        Option.map (fun op -> Amo { op; width; rd; rs1; rs2 })
+          (amo_funct5_rev f5))
+  end
+  else if opcode = opcode_custom0 then
+    if w = opcode_custom0 then Some Purge else None
+  else None

@@ -1,0 +1,13 @@
+(** Binary encoding of the instruction set (standard RV64 formats).
+
+    [purge] is encoded in the custom-0 opcode space (0x0B), which standard
+    RISC-V reserves for extensions — this is how the paper's claim that
+    purge "can be easily incorporated in any ISA" is realized here. *)
+
+(** [encode i] is the 32-bit encoding as a non-negative int.  Raises
+    [Invalid_argument] when an immediate is out of range or misaligned. *)
+val encode : Instr.t -> int
+
+(** [decode w] is the instruction encoded by the 32-bit word [w], or [None]
+    for an illegal encoding. *)
+val decode : int -> Instr.t option

@@ -1,0 +1,236 @@
+type branch_kind = Beq | Bne | Blt | Bge | Bltu | Bgeu
+type load_kind = Lb | Lh | Lw | Ld | Lbu | Lhu | Lwu
+type store_kind = Sb | Sh | Sw | Sd
+type alu_op = Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And
+type alu_w_op = Addw | Subw | Sllw | Srlw | Sraw
+type mul_op = Mul | Mulh | Mulhsu | Mulhu | Div | Divu | Rem | Remu
+type mul_w_op = Mulw | Divw | Divuw | Remw | Remuw
+type csr_op = Csrrw | Csrrs | Csrrc
+type csr_src = Rs of Reg.t | Uimm of int
+
+type amo_width = W | D
+
+type amo_op =
+  | Amoswap
+  | Amoadd
+  | Amoxor
+  | Amoand
+  | Amoor
+  | Amomin
+  | Amomax
+  | Amominu
+  | Amomaxu
+
+type t =
+  | Lui of { rd : Reg.t; imm : int }
+  | Auipc of { rd : Reg.t; imm : int }
+  | Jal of { rd : Reg.t; offset : int }
+  | Jalr of { rd : Reg.t; rs1 : Reg.t; offset : int }
+  | Branch of { kind : branch_kind; rs1 : Reg.t; rs2 : Reg.t; offset : int }
+  | Load of { kind : load_kind; rd : Reg.t; rs1 : Reg.t; offset : int }
+  | Store of { kind : store_kind; rs1 : Reg.t; rs2 : Reg.t; offset : int }
+  | Alu_imm of { op : alu_op; rd : Reg.t; rs1 : Reg.t; imm : int }
+  | Alu_imm_w of { op : alu_w_op; rd : Reg.t; rs1 : Reg.t; imm : int }
+  | Alu of { op : alu_op; rd : Reg.t; rs1 : Reg.t; rs2 : Reg.t }
+  | Alu_w of { op : alu_w_op; rd : Reg.t; rs1 : Reg.t; rs2 : Reg.t }
+  | Muldiv of { op : mul_op; rd : Reg.t; rs1 : Reg.t; rs2 : Reg.t }
+  | Muldiv_w of { op : mul_w_op; rd : Reg.t; rs1 : Reg.t; rs2 : Reg.t }
+  | Csr of { op : csr_op; rd : Reg.t; src : csr_src; csr : Csr.t }
+  | Lr of { width : amo_width; rd : Reg.t; rs1 : Reg.t }
+  | Sc of { width : amo_width; rd : Reg.t; rs1 : Reg.t; rs2 : Reg.t }
+  | Amo of { op : amo_op; width : amo_width; rd : Reg.t; rs1 : Reg.t; rs2 : Reg.t }
+  | Ecall
+  | Ebreak
+  | Mret
+  | Sret
+  | Wfi
+  | Fence
+  | Fence_i
+  | Sfence_vma of { rs1 : Reg.t; rs2 : Reg.t }
+  | Purge
+
+let is_control_flow = function
+  | Jal _ | Jalr _ | Branch _ -> true
+  | _ -> false
+
+let is_branch = function Branch _ -> true | _ -> false
+let is_load = function Load _ | Lr _ -> true | _ -> false
+let is_store = function Store _ | Sc _ -> true | _ -> false
+let is_mem i =
+  match i with
+  | Load _ | Store _ | Lr _ | Sc _ | Amo _ -> true
+  | _ -> false
+
+let is_serializing = function
+  | Csr _ | Ecall | Ebreak | Mret | Sret | Wfi | Fence | Fence_i
+  | Sfence_vma _ | Purge ->
+    true
+  | Lui _ | Auipc _ | Jal _ | Jalr _ | Branch _ | Load _ | Store _
+  | Alu_imm _ | Alu_imm_w _ | Alu _ | Alu_w _ | Muldiv _ | Muldiv_w _
+  | Lr _ | Sc _ | Amo _ ->
+    false
+
+let dest instr =
+  let d rd = if rd = 0 then None else Some rd in
+  match instr with
+  | Lui { rd; _ } | Auipc { rd; _ } | Jal { rd; _ } | Jalr { rd; _ }
+  | Load { rd; _ } | Alu_imm { rd; _ } | Alu_imm_w { rd; _ } | Alu { rd; _ }
+  | Alu_w { rd; _ } | Muldiv { rd; _ } | Muldiv_w { rd; _ } | Csr { rd; _ }
+  | Lr { rd; _ } | Sc { rd; _ } | Amo { rd; _ } ->
+    d rd
+  | Branch _ | Store _ | Ecall | Ebreak | Mret | Sret | Wfi | Fence | Fence_i
+  | Sfence_vma _ | Purge ->
+    None
+
+let sources instr =
+  let srcs =
+    match instr with
+    | Lui _ | Auipc _ | Jal _ | Ecall | Ebreak | Mret | Sret | Wfi | Fence
+    | Fence_i | Purge ->
+      []
+    | Jalr { rs1; _ } | Load { rs1; _ } | Alu_imm { rs1; _ }
+    | Alu_imm_w { rs1; _ } | Lr { rs1; _ } ->
+      [ rs1 ]
+    | Sc { rs1; rs2; _ } | Amo { rs1; rs2; _ } -> [ rs1; rs2 ]
+    | Branch { rs1; rs2; _ } | Store { rs1; rs2; _ } | Alu { rs1; rs2; _ }
+    | Alu_w { rs1; rs2; _ } | Muldiv { rs1; rs2; _ } | Muldiv_w { rs1; rs2; _ }
+    | Sfence_vma { rs1; rs2 } ->
+      [ rs1; rs2 ]
+    | Csr { src; _ } -> ( match src with Rs rs1 -> [ rs1 ] | Uimm _ -> [])
+  in
+  List.filter (fun r -> r <> 0) srcs
+
+let load_bytes = function
+  | Lb | Lbu -> 1
+  | Lh | Lhu -> 2
+  | Lw | Lwu -> 4
+  | Ld -> 8
+
+let store_bytes = function Sb -> 1 | Sh -> 2 | Sw -> 4 | Sd -> 8
+
+let branch_name = function
+  | Beq -> "beq"
+  | Bne -> "bne"
+  | Blt -> "blt"
+  | Bge -> "bge"
+  | Bltu -> "bltu"
+  | Bgeu -> "bgeu"
+
+let load_name = function
+  | Lb -> "lb"
+  | Lh -> "lh"
+  | Lw -> "lw"
+  | Ld -> "ld"
+  | Lbu -> "lbu"
+  | Lhu -> "lhu"
+  | Lwu -> "lwu"
+
+let store_name = function Sb -> "sb" | Sh -> "sh" | Sw -> "sw" | Sd -> "sd"
+
+let alu_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Sll -> "sll"
+  | Slt -> "slt"
+  | Sltu -> "sltu"
+  | Xor -> "xor"
+  | Srl -> "srl"
+  | Sra -> "sra"
+  | Or -> "or"
+  | And -> "and"
+
+let alu_w_name = function
+  | Addw -> "addw"
+  | Subw -> "subw"
+  | Sllw -> "sllw"
+  | Srlw -> "srlw"
+  | Sraw -> "sraw"
+
+let mul_name = function
+  | Mul -> "mul"
+  | Mulh -> "mulh"
+  | Mulhsu -> "mulhsu"
+  | Mulhu -> "mulhu"
+  | Div -> "div"
+  | Divu -> "divu"
+  | Rem -> "rem"
+  | Remu -> "remu"
+
+let mul_w_name = function
+  | Mulw -> "mulw"
+  | Divw -> "divw"
+  | Divuw -> "divuw"
+  | Remw -> "remw"
+  | Remuw -> "remuw"
+
+let csr_name = function Csrrw -> "csrrw" | Csrrs -> "csrrs" | Csrrc -> "csrrc"
+
+let amo_name = function
+  | Amoswap -> "amoswap"
+  | Amoadd -> "amoadd"
+  | Amoxor -> "amoxor"
+  | Amoand -> "amoand"
+  | Amoor -> "amoor"
+  | Amomin -> "amomin"
+  | Amomax -> "amomax"
+  | Amominu -> "amominu"
+  | Amomaxu -> "amomaxu"
+
+let width_suffix = function W -> ".w" | D -> ".d"
+
+let pp ppf instr =
+  let r = Reg.name in
+  match instr with
+  | Lui { rd; imm } -> Format.fprintf ppf "lui %s, 0x%x" (r rd) (imm lsr 12)
+  | Auipc { rd; imm } -> Format.fprintf ppf "auipc %s, 0x%x" (r rd) (imm lsr 12)
+  | Jal { rd; offset } -> Format.fprintf ppf "jal %s, %d" (r rd) offset
+  | Jalr { rd; rs1; offset } ->
+    Format.fprintf ppf "jalr %s, %d(%s)" (r rd) offset (r rs1)
+  | Branch { kind; rs1; rs2; offset } ->
+    Format.fprintf ppf "%s %s, %s, %d" (branch_name kind) (r rs1) (r rs2) offset
+  | Load { kind; rd; rs1; offset } ->
+    Format.fprintf ppf "%s %s, %d(%s)" (load_name kind) (r rd) offset (r rs1)
+  | Store { kind; rs1; rs2; offset } ->
+    Format.fprintf ppf "%s %s, %d(%s)" (store_name kind) (r rs2) offset (r rs1)
+  | Alu_imm { op; rd; rs1; imm } ->
+    Format.fprintf ppf "%si %s, %s, %d" (alu_name op) (r rd) (r rs1) imm
+  | Alu_imm_w { op; rd; rs1; imm } ->
+    Format.fprintf ppf "%siw %s, %s, %d"
+      (String.sub (alu_w_name op) 0 (String.length (alu_w_name op) - 1))
+      (r rd) (r rs1) imm
+  | Alu { op; rd; rs1; rs2 } ->
+    Format.fprintf ppf "%s %s, %s, %s" (alu_name op) (r rd) (r rs1) (r rs2)
+  | Alu_w { op; rd; rs1; rs2 } ->
+    Format.fprintf ppf "%s %s, %s, %s" (alu_w_name op) (r rd) (r rs1) (r rs2)
+  | Muldiv { op; rd; rs1; rs2 } ->
+    Format.fprintf ppf "%s %s, %s, %s" (mul_name op) (r rd) (r rs1) (r rs2)
+  | Muldiv_w { op; rd; rs1; rs2 } ->
+    Format.fprintf ppf "%s %s, %s, %s" (mul_w_name op) (r rd) (r rs1) (r rs2)
+  | Csr { op; rd; src; csr } -> (
+    match src with
+    | Rs rs1 ->
+      Format.fprintf ppf "%s %s, %s, %s" (csr_name op) (r rd) (Csr.name csr)
+        (r rs1)
+    | Uimm imm ->
+      Format.fprintf ppf "%si %s, %s, %d" (csr_name op) (r rd) (Csr.name csr)
+        imm)
+  | Lr { width; rd; rs1 } ->
+    Format.fprintf ppf "lr%s %s, (%s)" (width_suffix width) (r rd) (r rs1)
+  | Sc { width; rd; rs1; rs2 } ->
+    Format.fprintf ppf "sc%s %s, %s, (%s)" (width_suffix width) (r rd) (r rs2)
+      (r rs1)
+  | Amo { op; width; rd; rs1; rs2 } ->
+    Format.fprintf ppf "%s%s %s, %s, (%s)" (amo_name op) (width_suffix width)
+      (r rd) (r rs2) (r rs1)
+  | Ecall -> Format.pp_print_string ppf "ecall"
+  | Ebreak -> Format.pp_print_string ppf "ebreak"
+  | Mret -> Format.pp_print_string ppf "mret"
+  | Sret -> Format.pp_print_string ppf "sret"
+  | Wfi -> Format.pp_print_string ppf "wfi"
+  | Fence -> Format.pp_print_string ppf "fence"
+  | Fence_i -> Format.pp_print_string ppf "fence.i"
+  | Sfence_vma { rs1; rs2 } ->
+    Format.fprintf ppf "sfence.vma %s, %s" (r rs1) (r rs2)
+  | Purge -> Format.pp_print_string ppf "purge"
+
+let to_string instr = Format.asprintf "%a" pp instr

@@ -1,0 +1,87 @@
+(** Instruction set: RV64IM subset + privileged instructions + MI6's custom
+    [purge] instruction (paper Section 6).
+
+    Immediates are stored as ordinary sign-extended OCaml ints in their
+    natural units (byte offsets for control flow and memory, raw values for
+    ALU immediates, the upper-immediate for [Lui]/[Auipc] already shifted
+    left by 12). *)
+
+type branch_kind = Beq | Bne | Blt | Bge | Bltu | Bgeu
+type load_kind = Lb | Lh | Lw | Ld | Lbu | Lhu | Lwu
+type store_kind = Sb | Sh | Sw | Sd
+type alu_op = Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And
+type alu_w_op = Addw | Subw | Sllw | Srlw | Sraw
+type mul_op = Mul | Mulh | Mulhsu | Mulhu | Div | Divu | Rem | Remu
+type mul_w_op = Mulw | Divw | Divuw | Remw | Remuw
+type csr_op = Csrrw | Csrrs | Csrrc
+type csr_src = Rs of Reg.t | Uimm of int
+
+type amo_width = W | D
+
+type amo_op =
+  | Amoswap
+  | Amoadd
+  | Amoxor
+  | Amoand
+  | Amoor
+  | Amomin
+  | Amomax
+  | Amominu
+  | Amomaxu
+
+type t =
+  | Lui of { rd : Reg.t; imm : int }
+  | Auipc of { rd : Reg.t; imm : int }
+  | Jal of { rd : Reg.t; offset : int }
+  | Jalr of { rd : Reg.t; rs1 : Reg.t; offset : int }
+  | Branch of { kind : branch_kind; rs1 : Reg.t; rs2 : Reg.t; offset : int }
+  | Load of { kind : load_kind; rd : Reg.t; rs1 : Reg.t; offset : int }
+  | Store of { kind : store_kind; rs1 : Reg.t; rs2 : Reg.t; offset : int }
+  | Alu_imm of { op : alu_op; rd : Reg.t; rs1 : Reg.t; imm : int }
+  | Alu_imm_w of { op : alu_w_op; rd : Reg.t; rs1 : Reg.t; imm : int }
+  | Alu of { op : alu_op; rd : Reg.t; rs1 : Reg.t; rs2 : Reg.t }
+  | Alu_w of { op : alu_w_op; rd : Reg.t; rs1 : Reg.t; rs2 : Reg.t }
+  | Muldiv of { op : mul_op; rd : Reg.t; rs1 : Reg.t; rs2 : Reg.t }
+  | Muldiv_w of { op : mul_w_op; rd : Reg.t; rs1 : Reg.t; rs2 : Reg.t }
+  | Csr of { op : csr_op; rd : Reg.t; src : csr_src; csr : Csr.t }
+  | Lr of { width : amo_width; rd : Reg.t; rs1 : Reg.t }
+  | Sc of { width : amo_width; rd : Reg.t; rs1 : Reg.t; rs2 : Reg.t }
+  | Amo of { op : amo_op; width : amo_width; rd : Reg.t; rs1 : Reg.t; rs2 : Reg.t }
+  | Ecall
+  | Ebreak
+  | Mret
+  | Sret
+  | Wfi
+  | Fence
+  | Fence_i
+  | Sfence_vma of { rs1 : Reg.t; rs2 : Reg.t }
+  | Purge
+      (** MI6 purge: drains the pipeline and scrubs all per-core
+          microarchitectural state; machine-mode only. *)
+
+(** Classification helpers used by the timing model. *)
+
+val is_control_flow : t -> bool
+val is_branch : t -> bool
+val is_load : t -> bool
+val is_store : t -> bool
+val is_mem : t -> bool
+
+(** [is_serializing i] holds for instructions the core must execute with an
+    empty pipeline ([Csr], [Fence_i], [Sfence_vma], [Mret], [Sret],
+    [Ecall], [Purge], ...). *)
+val is_serializing : t -> bool
+
+(** [dest i] is the destination register if any ([x0] destinations count as
+    none). *)
+val dest : t -> Reg.t option
+
+(** [sources i] lists the source registers (without [x0]). *)
+val sources : t -> Reg.t list
+
+(** [load_bytes k] / [store_bytes k] is the access width. *)
+val load_bytes : load_kind -> int
+
+val store_bytes : store_kind -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,128 @@
+type mode = User | Supervisor | Machine
+
+let mode_to_int = function User -> 0 | Supervisor -> 1 | Machine -> 3
+
+let mode_of_int = function
+  | 0 -> User
+  | 1 -> Supervisor
+  | 3 -> Machine
+  | n -> invalid_arg (Printf.sprintf "Priv.mode_of_int: %d" n)
+
+let mode_name = function
+  | User -> "U"
+  | Supervisor -> "S"
+  | Machine -> "M"
+
+let more_privileged a b = mode_to_int a > mode_to_int b
+
+type exception_cause =
+  | Instr_addr_misaligned
+  | Instr_access_fault
+  | Illegal_instruction
+  | Breakpoint
+  | Load_addr_misaligned
+  | Load_access_fault
+  | Store_addr_misaligned
+  | Store_access_fault
+  | Ecall_from_u
+  | Ecall_from_s
+  | Ecall_from_m
+  | Instr_page_fault
+  | Load_page_fault
+  | Store_page_fault
+  | Region_fault
+
+type interrupt_cause = Software_interrupt | Timer_interrupt | External_interrupt
+
+type cause = Exception of exception_cause | Interrupt of interrupt_cause
+
+let exception_code = function
+  | Instr_addr_misaligned -> 0
+  | Instr_access_fault -> 1
+  | Illegal_instruction -> 2
+  | Breakpoint -> 3
+  | Load_addr_misaligned -> 4
+  | Load_access_fault -> 5
+  | Store_addr_misaligned -> 6
+  | Store_access_fault -> 7
+  | Ecall_from_u -> 8
+  | Ecall_from_s -> 9
+  | Ecall_from_m -> 11
+  | Instr_page_fault -> 12
+  | Load_page_fault -> 13
+  | Store_page_fault -> 15
+  (* Custom cause in the >= 24 range the spec reserves for platform use. *)
+  | Region_fault -> 24
+
+let exception_of_code = function
+  | 0 -> Some Instr_addr_misaligned
+  | 1 -> Some Instr_access_fault
+  | 2 -> Some Illegal_instruction
+  | 3 -> Some Breakpoint
+  | 4 -> Some Load_addr_misaligned
+  | 5 -> Some Load_access_fault
+  | 6 -> Some Store_addr_misaligned
+  | 7 -> Some Store_access_fault
+  | 8 -> Some Ecall_from_u
+  | 9 -> Some Ecall_from_s
+  | 11 -> Some Ecall_from_m
+  | 12 -> Some Instr_page_fault
+  | 13 -> Some Load_page_fault
+  | 15 -> Some Store_page_fault
+  | 24 -> Some Region_fault
+  | _ -> None
+
+let interrupt_code = function
+  | Software_interrupt -> 3
+  | Timer_interrupt -> 7
+  | External_interrupt -> 11
+
+let interrupt_of_code = function
+  | 3 -> Some Software_interrupt
+  | 7 -> Some Timer_interrupt
+  | 11 -> Some External_interrupt
+  | _ -> None
+
+let interrupt_bit = Int64.shift_left 1L 63
+
+let cause_code = function
+  | Exception e -> Int64.of_int (exception_code e)
+  | Interrupt i -> Int64.logor interrupt_bit (Int64.of_int (interrupt_code i))
+
+let cause_of_code code =
+  if Int64.logand code interrupt_bit <> 0L then
+    Option.map
+      (fun i -> Interrupt i)
+      (interrupt_of_code (Int64.to_int (Int64.logand code 0xffL)))
+  else
+    Option.map (fun e -> Exception e) (exception_of_code (Int64.to_int code))
+
+let pp_cause ppf = function
+  | Exception e ->
+    let name =
+      match e with
+      | Instr_addr_misaligned -> "instr-addr-misaligned"
+      | Instr_access_fault -> "instr-access-fault"
+      | Illegal_instruction -> "illegal-instruction"
+      | Breakpoint -> "breakpoint"
+      | Load_addr_misaligned -> "load-addr-misaligned"
+      | Load_access_fault -> "load-access-fault"
+      | Store_addr_misaligned -> "store-addr-misaligned"
+      | Store_access_fault -> "store-access-fault"
+      | Ecall_from_u -> "ecall-from-U"
+      | Ecall_from_s -> "ecall-from-S"
+      | Ecall_from_m -> "ecall-from-M"
+      | Instr_page_fault -> "instr-page-fault"
+      | Load_page_fault -> "load-page-fault"
+      | Store_page_fault -> "store-page-fault"
+      | Region_fault -> "region-fault"
+    in
+    Format.pp_print_string ppf name
+  | Interrupt i ->
+    let name =
+      match i with
+      | Software_interrupt -> "software-interrupt"
+      | Timer_interrupt -> "timer-interrupt"
+      | External_interrupt -> "external-interrupt"
+    in
+    Format.pp_print_string ppf name

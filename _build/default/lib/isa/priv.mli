@@ -1,0 +1,46 @@
+(** RISC-V privilege modes and trap causes.
+
+    MI6's security monitor is the only software in machine mode; the
+    untrusted OS runs in supervisor mode; applications and enclaves run in
+    user mode (Section 2.2 of the paper). *)
+
+type mode = User | Supervisor | Machine
+
+(** Numeric encoding used by [mstatus.MPP] etc.: U=0, S=1, M=3. *)
+val mode_to_int : mode -> int
+
+val mode_of_int : int -> mode
+val mode_name : mode -> string
+
+(** [more_privileged a b] holds when [a] strictly dominates [b]. *)
+val more_privileged : mode -> mode -> bool
+
+(** Synchronous exception causes (subset of the privileged spec), plus the
+    MI6-specific cause raised when a non-speculative access falls outside
+    the protection domain's DRAM regions (Section 5.3). *)
+type exception_cause =
+  | Instr_addr_misaligned
+  | Instr_access_fault
+  | Illegal_instruction
+  | Breakpoint
+  | Load_addr_misaligned
+  | Load_access_fault
+  | Store_addr_misaligned
+  | Store_access_fault
+  | Ecall_from_u
+  | Ecall_from_s
+  | Ecall_from_m
+  | Instr_page_fault
+  | Load_page_fault
+  | Store_page_fault
+  | Region_fault  (** MI6: access outside the allowed DRAM regions *)
+
+type interrupt_cause = Software_interrupt | Timer_interrupt | External_interrupt
+
+type cause = Exception of exception_cause | Interrupt of interrupt_cause
+
+(** [cause_code c] is the mcause encoding: interrupts have bit 63 set. *)
+val cause_code : cause -> int64
+
+val cause_of_code : int64 -> cause option
+val pp_cause : Format.formatter -> cause -> unit

@@ -1,0 +1,49 @@
+(** Integer register file names (RV64 x0..x31).
+
+    Registers are plain ints 0..31; [x0] is hardwired to zero by the
+    functional simulator and renamed away by the timing model.  ABI aliases
+    are provided for readable assembly in tests and examples. *)
+
+type t = int
+
+(** [check r] raises [Invalid_argument] unless 0 <= r <= 31. *)
+val check : t -> unit
+
+val x0 : t
+val zero : t
+val ra : t
+val sp : t
+val gp : t
+val tp : t
+val t0 : t
+val t1 : t
+val t2 : t
+val s0 : t
+val s1 : t
+val a0 : t
+val a1 : t
+val a2 : t
+val a3 : t
+val a4 : t
+val a5 : t
+val a6 : t
+val a7 : t
+val s2 : t
+val s3 : t
+val s4 : t
+val s5 : t
+val s6 : t
+val s7 : t
+val s8 : t
+val s9 : t
+val s10 : t
+val s11 : t
+val t3 : t
+val t4 : t
+val t5 : t
+val t6 : t
+
+(** [name r] is the ABI name, e.g. [name 10 = "a0"]. *)
+val name : t -> string
+
+val pp : Format.formatter -> t -> unit

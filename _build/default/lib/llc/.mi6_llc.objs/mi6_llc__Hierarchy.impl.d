@@ -1,0 +1,1 @@
+lib/llc/hierarchy.ml: Array Controller Fr_fcfs L1 Link List Llc Printf

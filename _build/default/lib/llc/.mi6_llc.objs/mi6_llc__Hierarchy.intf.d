@@ -1,0 +1,1 @@
+lib/llc/hierarchy.mli: Fr_fcfs L1 Llc Stats

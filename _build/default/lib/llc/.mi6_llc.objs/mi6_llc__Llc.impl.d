@@ -1,0 +1,1 @@
+lib/llc/llc.ml: Addr Array Bitvec Controller Fifo Index Link List Msg Msi Replacement Sram Stats

@@ -1,0 +1,1 @@
+lib/llc/llc.mli: Addr Controller Index Link Stats

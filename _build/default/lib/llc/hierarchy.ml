@@ -1,0 +1,68 @@
+type dram_kind =
+  | Const_dram of { latency : int; max_outstanding : int }
+  | Reorder_dram of Fr_fcfs.config
+
+type t = {
+  l1s : L1.t array;
+  llc : Llc.t;
+  mutable clock : int;
+  completions : (int * int) list ref array; (* reversed *)
+}
+
+let create ?(l1 = L1.default_config) ?(link_depth = 4) ~llc:llc_cfg ~security
+    ~dram ~stats () =
+  let n = llc_cfg.Llc.cores in
+  let links = Array.init n (fun _ -> Link.create ~depth:link_depth) in
+  let dram_ctrl =
+    match dram with
+    | Const_dram { latency; max_outstanding } ->
+      Controller.constant ~latency ~max_outstanding ~stats
+    | Reorder_dram cfg -> Controller.reordering cfg ~stats
+  in
+  let llc = Llc.create llc_cfg ~security ~links ~dram:dram_ctrl ~stats in
+  let l1s =
+    Array.init n (fun i ->
+        L1.create l1 ~link:links.(i) ~stats ~name:(Printf.sprintf "l1.%d" i))
+  in
+  { l1s; llc; clock = 0; completions = Array.init n (fun _ -> ref []) }
+
+let cores t = Array.length t.l1s
+let now t = t.clock
+let l1 t ~core = t.l1s.(core)
+let llc t = t.llc
+let can_accept t ~core = L1.can_accept t.l1s.(core)
+
+let request t ~core ~line ~store ~id =
+  L1.request t.l1s.(core) ~line ~store ~id
+
+let tick t =
+  let now = t.clock in
+  Array.iteri
+    (fun core cache ->
+      L1.tick cache ~now ~complete:(fun id ->
+          t.completions.(core) := (id, now) :: !(t.completions.(core))))
+    t.l1s;
+  Llc.tick t.llc ~now;
+  t.clock <- now + 1
+
+let take_completions t ~core =
+  let out = List.rev !(t.completions.(core)) in
+  t.completions.(core) := [];
+  out
+
+let quiescent t =
+  (not (Llc.busy t.llc))
+  && Array.for_all (fun c -> L1.in_flight c = 0) t.l1s
+
+let run_until_quiescent t ~max_cycles =
+  let start = t.clock in
+  let rec go () =
+    if quiescent t then t.clock - start
+    else if t.clock - start >= max_cycles then
+      failwith "Hierarchy.run_until_quiescent: timeout (possible deadlock)"
+    else begin
+      tick t;
+      go ()
+    end
+  in
+  go ()

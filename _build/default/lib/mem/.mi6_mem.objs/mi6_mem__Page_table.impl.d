@@ -1,0 +1,1 @@
+lib/mem/page_table.ml: Int64 List Phys_mem

@@ -1,0 +1,1 @@
+lib/mem/phys_mem.ml: Bytes Char Hashtbl Int64 Printf String

@@ -1,0 +1,40 @@
+let line_bytes = 64
+let page_bytes = 4096
+
+let line_of pa = pa / line_bytes
+let line_addr pa = pa land lnot (line_bytes - 1)
+let page_of pa = pa / page_bytes
+let page_addr pa = pa land lnot (page_bytes - 1)
+let offset_in_line pa = pa land (line_bytes - 1)
+
+type regions = {
+  dram_bytes : int;
+  region_count : int;
+  region_bytes : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let make_regions ~dram_bytes ~region_count =
+  if not (is_pow2 dram_bytes) then
+    invalid_arg "Addr.make_regions: dram_bytes must be a power of two";
+  if not (is_pow2 region_count) then
+    invalid_arg "Addr.make_regions: region_count must be a power of two";
+  let region_bytes = dram_bytes / region_count in
+  if region_bytes < page_bytes then
+    invalid_arg "Addr.make_regions: regions smaller than a page";
+  { dram_bytes; region_count; region_bytes }
+
+let in_dram g pa = pa >= 0 && pa < g.dram_bytes
+
+let region_of g pa =
+  if not (in_dram g pa) then
+    invalid_arg (Printf.sprintf "Addr.region_of: 0x%x outside DRAM" pa);
+  pa / g.region_bytes
+
+let region_base g r =
+  if r < 0 || r >= g.region_count then invalid_arg "Addr.region_base";
+  r * g.region_bytes
+
+let default_regions =
+  make_regions ~dram_bytes:(2 * 1024 * 1024 * 1024) ~region_count:64

@@ -1,0 +1,50 @@
+(** Address geometry: cache lines, pages, and MI6 DRAM regions.
+
+    Physical addresses are non-negative OCaml ints (the machine has 2 GB of
+    DRAM, well within 63 bits).  Virtual addresses are 64-bit and carried as
+    [int64] where sign matters (Sv39 requires bits 63..39 to equal bit 38).
+
+    MI6 divides DRAM into equally sized, contiguous, naturally aligned
+    {e DRAM regions} (paper Section 5.2); the region ID is the top bits of
+    the physical address and doubles as the high bits of the partitioned LLC
+    index. *)
+
+val line_bytes : int
+(** 64-byte cache lines throughout. *)
+
+val page_bytes : int
+(** 4 KB pages. *)
+
+val line_of : int -> int
+(** [line_of pa] is the cache-line index (pa / 64). *)
+
+val line_addr : int -> int
+(** [line_addr pa] clears the offset bits. *)
+
+val page_of : int -> int
+val page_addr : int -> int
+val offset_in_line : int -> int
+
+(** DRAM-region geometry. *)
+type regions = private {
+  dram_bytes : int;  (** total DRAM size; must be a power of two *)
+  region_count : int;  (** number of regions; must be a power of two *)
+  region_bytes : int;
+}
+
+(** [make_regions ~dram_bytes ~region_count] checks the power-of-two and
+    alignment constraints (every 4 KB page must fall in one region). *)
+val make_regions : dram_bytes:int -> region_count:int -> regions
+
+(** [region_of g pa] is the DRAM-region ID of a physical address.  Raises
+    [Invalid_argument] if [pa] is outside DRAM. *)
+val region_of : regions -> int -> int
+
+(** [region_base g r] is the first physical address of region [r]. *)
+val region_base : regions -> int -> int
+
+(** [in_dram g pa] bounds-checks a physical address. *)
+val in_dram : regions -> int -> bool
+
+(** The paper's configuration: 2 GB DRAM, 64 regions of 32 MB. *)
+val default_regions : regions

@@ -1,0 +1,136 @@
+type perm = { r : bool; w : bool; x : bool; u : bool }
+
+type leaf = {
+  paddr : int;
+  page_base : int;
+  level : int;
+  perm : perm;
+  accessed : bool;
+  dirty : bool;
+}
+
+type step = { step_level : int; pte_addr : int; pte : int64 }
+
+type fault_kind = Invalid_pte | Misaligned_superpage | Non_canonical
+
+type result =
+  | Translated of leaf * step list
+  | Fault of fault_kind * step list
+
+let bit b v = Int64.logand (Int64.shift_right_logical v b) 1L = 1L
+
+let pte_valid = bit 0
+let pte_r = bit 1
+let pte_w = bit 2
+let pte_x = bit 3
+let pte_u = bit 4
+let pte_a = bit 6
+let pte_d = bit 7
+let pte_ppn v = Int64.to_int (Int64.logand (Int64.shift_right_logical v 10) 0xFFFFFFFFFFFL)
+let pte_is_leaf v = pte_r v || pte_x v
+
+let vpn vaddr level =
+  Int64.to_int
+    (Int64.logand (Int64.shift_right_logical vaddr (12 + (9 * level))) 0x1FFL)
+
+let page_offset vaddr = Int64.to_int (Int64.logand vaddr 0xFFFL)
+
+let canonical vaddr =
+  (* Bits 63..39 must equal bit 38. *)
+  let top = Int64.shift_right vaddr 38 in
+  top = 0L || top = -1L
+
+let walk mem ~root ~vaddr =
+  if not (canonical vaddr) then Fault (Non_canonical, [])
+  else begin
+    let rec go level table_base steps =
+      let pte_addr = table_base + (8 * vpn vaddr level) in
+      let pte = Phys_mem.read_u64 mem pte_addr in
+      let steps = { step_level = level; pte_addr; pte } :: steps in
+      if (not (pte_valid pte)) || (pte_w pte && not (pte_r pte)) then
+        Fault (Invalid_pte, List.rev steps)
+      else if pte_is_leaf pte then begin
+        let ppn = pte_ppn pte in
+        (* Superpage PPN low bits must be zero. *)
+        let align_mask = (1 lsl (9 * level)) - 1 in
+        if ppn land align_mask <> 0 then
+          Fault (Misaligned_superpage, List.rev steps)
+        else begin
+          let page_base = ppn * 4096 in
+          let offset =
+            page_offset vaddr
+            + (4096
+              * (Int64.to_int (Int64.shift_right_logical vaddr 12)
+                land align_mask))
+          in
+          Translated
+            ( {
+                paddr = page_base + offset;
+                page_base;
+                level;
+                perm =
+                  { r = pte_r pte; w = pte_w pte; x = pte_x pte; u = pte_u pte };
+                accessed = pte_a pte;
+                dirty = pte_d pte;
+              },
+              List.rev steps )
+        end
+      end
+      else if level = 0 then Fault (Invalid_pte, List.rev steps)
+      else go (level - 1) (pte_ppn pte * 4096) steps
+    in
+    go 2 root []
+  end
+
+let pte_make ~ppn ~perm ~valid =
+  let b cond n = if cond then Int64.shift_left 1L n else 0L in
+  List.fold_left Int64.logor
+    (Int64.shift_left (Int64.of_int ppn) 10)
+    [
+      b valid 0; b perm.r 1; b perm.w 2; b perm.x 3; b perm.u 4;
+      (* A and D preset so the walker never needs write-back. *)
+      b true 6; b true 7;
+    ]
+
+let pte_table ~ppn =
+  Int64.logor (Int64.shift_left (Int64.of_int ppn) 10) 1L
+
+let map_page mem ~alloc ~root ~vaddr ~paddr ~perm =
+  if paddr land 0xFFF <> 0 then invalid_arg "Page_table.map_page: unaligned paddr";
+  let rec go level table_base =
+    let pte_addr = table_base + (8 * vpn vaddr level) in
+    if level = 0 then
+      Phys_mem.write_u64 mem pte_addr
+        (pte_make ~ppn:(paddr / 4096) ~perm ~valid:true)
+    else begin
+      let pte = Phys_mem.read_u64 mem pte_addr in
+      if pte_valid pte && pte_is_leaf pte then
+        failwith "Page_table.map_page: superpage already mapped here"
+      else begin
+        let next =
+          if pte_valid pte then pte_ppn pte * 4096
+          else begin
+            let page = alloc () in
+            Phys_mem.write_u64 mem pte_addr (pte_table ~ppn:(page / 4096));
+            page
+          end
+        in
+        go (level - 1) next
+      end
+    end
+  in
+  go 2 root
+
+let identity_map mem ~alloc ~root ~lo ~hi ~perm =
+  if lo land 0xFFF <> 0 || hi land 0xFFF <> 0 then
+    invalid_arg "Page_table.identity_map: unaligned range";
+  let page = ref lo in
+  while !page < hi do
+    map_page mem ~alloc ~root ~vaddr:(Int64.of_int !page) ~paddr:!page ~perm;
+    page := !page + 4096
+  done
+
+let perm_rw = { r = true; w = true; x = false; u = false }
+let perm_rx = { r = true; w = false; x = true; u = false }
+let perm_rwx = { r = true; w = true; x = true; u = false }
+let perm_user p = { p with u = true }

@@ -1,0 +1,75 @@
+(** Sv39-style three-level page tables: walker and builder.
+
+    The walker reports every page-table entry it touches so callers can
+    (a) validate that page walks stay inside the protection domain's DRAM
+    regions — MI6 checks {e all} physical accesses including walks
+    (Section 5.3) — and (b) model the translation cache, which caches
+    intermediate walk steps (Figure 4). *)
+
+type perm = { r : bool; w : bool; x : bool; u : bool }
+
+type leaf = {
+  paddr : int;  (** translated physical address *)
+  page_base : int;  (** physical base of the (super)page *)
+  level : int;  (** 0 = 4 KB page, 1 = 2 MB, 2 = 1 GB *)
+  perm : perm;
+  accessed : bool;
+  dirty : bool;
+}
+
+type step = {
+  step_level : int;  (** 2 for the root table, then 1, then 0 *)
+  pte_addr : int;  (** physical address of the PTE read *)
+  pte : int64;
+}
+
+type fault_kind =
+  | Invalid_pte  (** V bit clear, or W without R *)
+  | Misaligned_superpage
+  | Non_canonical  (** bits 63..39 of the VA disagree with bit 38 *)
+
+type result =
+  | Translated of leaf * step list
+  | Fault of fault_kind * step list
+
+(** [walk mem ~root ~vaddr] walks the tables rooted at physical address
+    [root] (page-aligned).  Steps are returned in walk order. *)
+val walk : Phys_mem.t -> root:int -> vaddr:int64 -> result
+
+(** [pte_make ~ppn ~perm ~valid] builds a leaf PTE; [pte_table ~ppn] builds
+    a non-leaf pointer PTE. *)
+val pte_make : ppn:int -> perm:perm -> valid:bool -> int64
+
+val pte_table : ppn:int -> int64
+
+(** [map_page mem ~alloc ~root ~vaddr ~paddr ~perm] installs a 4 KB mapping,
+    creating intermediate tables with [alloc] (which must return the
+    physical address of a fresh zeroed page).  Raises [Failure] when the
+    slot already holds a conflicting superpage. *)
+val map_page :
+  Phys_mem.t ->
+  alloc:(unit -> int) ->
+  root:int ->
+  vaddr:int64 ->
+  paddr:int ->
+  perm:perm ->
+  unit
+
+(** [identity_map mem ~alloc ~root ~lo ~hi ~perm] maps [lo, hi) onto itself
+    with 4 KB pages (used by the monitor when software turns translation
+    off). *)
+val identity_map :
+  Phys_mem.t ->
+  alloc:(unit -> int) ->
+  root:int ->
+  lo:int ->
+  hi:int ->
+  perm:perm ->
+  unit
+
+val perm_rw : perm
+val perm_rx : perm
+val perm_rwx : perm
+
+(** [perm_user p] is [p] with the U bit set. *)
+val perm_user : perm -> perm

@@ -1,0 +1,95 @@
+let chunk_bits = 16
+let chunk_bytes = 1 lsl chunk_bits (* 64 KB *)
+
+type t = {
+  size_bytes : int;
+  chunks : (int, Bytes.t) Hashtbl.t;
+}
+
+let create ~size_bytes =
+  if size_bytes <= 0 then invalid_arg "Phys_mem.create";
+  { size_bytes; chunks = Hashtbl.create 256 }
+
+let size_bytes m = m.size_bytes
+
+let check m addr width =
+  if addr < 0 || addr + width > m.size_bytes then begin
+    let shown =
+      if addr < 0 then string_of_int addr else Printf.sprintf "0x%x" addr
+    in
+    invalid_arg
+      (Printf.sprintf "Phys_mem: access %s width %d out of bounds" shown width)
+  end
+
+let chunk m idx =
+  match Hashtbl.find_opt m.chunks idx with
+  | Some c -> c
+  | None ->
+    let c = Bytes.make chunk_bytes '\x00' in
+    Hashtbl.add m.chunks idx c;
+    c
+
+let read_u8 m addr =
+  check m addr 1;
+  match Hashtbl.find_opt m.chunks (addr lsr chunk_bits) with
+  | None -> 0
+  | Some c -> Char.code (Bytes.get c (addr land (chunk_bytes - 1)))
+
+let write_u8 m addr v =
+  check m addr 1;
+  let c = chunk m (addr lsr chunk_bits) in
+  Bytes.set c (addr land (chunk_bytes - 1)) (Char.chr (v land 0xFF))
+
+let read_u16 m addr =
+  check m addr 2;
+  read_u8 m addr lor (read_u8 m (addr + 1) lsl 8)
+
+let write_u16 m addr v =
+  check m addr 2;
+  write_u8 m addr v;
+  write_u8 m (addr + 1) (v lsr 8)
+
+let read_u32 m addr =
+  check m addr 4;
+  read_u16 m addr lor (read_u16 m (addr + 2) lsl 16)
+
+let write_u32 m addr v =
+  check m addr 4;
+  write_u16 m addr v;
+  write_u16 m (addr + 2) (v lsr 16)
+
+let read_u64 m addr =
+  check m addr 8;
+  let lo = Int64.of_int (read_u32 m addr) in
+  let hi = Int64.of_int (read_u32 m (addr + 4)) in
+  Int64.logor lo (Int64.shift_left hi 32)
+
+let write_u64 m addr v =
+  check m addr 8;
+  write_u32 m addr (Int64.to_int (Int64.logand v 0xFFFFFFFFL));
+  write_u32 m (addr + 4)
+    (Int64.to_int (Int64.logand (Int64.shift_right_logical v 32) 0xFFFFFFFFL))
+
+let load_string m addr s =
+  check m addr (String.length s);
+  String.iteri (fun i ch -> write_u8 m (addr + i) (Char.code ch)) s
+
+let read_string m addr len =
+  check m addr len;
+  String.init len (fun i -> Char.chr (read_u8 m (addr + i)))
+
+let zero_range m addr len =
+  check m addr len;
+  (* Fill whole backing chunks at once; monitor scrubs span megabytes. *)
+  let pos = ref addr in
+  let remaining = ref len in
+  while !remaining > 0 do
+    let idx = !pos lsr chunk_bits in
+    let off = !pos land (chunk_bytes - 1) in
+    let take = min (chunk_bytes - off) !remaining in
+    (match Hashtbl.find_opt m.chunks idx with
+    | Some c -> Bytes.fill c off take '\x00'
+    | None -> () (* untouched chunks already read as zero *));
+    pos := !pos + take;
+    remaining := !remaining - take
+  done

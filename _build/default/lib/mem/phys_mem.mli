@@ -1,0 +1,36 @@
+(** Sparse physical memory.
+
+    Backing store is allocated in 64 KB chunks on first touch, so a 2 GB
+    address space costs only what the program actually uses.  All accesses
+    are little-endian, matching RISC-V. *)
+
+type t
+
+(** [create ~size_bytes] is zero-initialized memory of the given size. *)
+val create : size_bytes:int -> t
+
+val size_bytes : t -> int
+
+(** Byte / halfword / word / doubleword accessors.  All raise
+    [Invalid_argument] on out-of-bounds addresses; wider accesses are not
+    required to be aligned (the functional simulator checks alignment at a
+    higher level where the ISA demands it). *)
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val read_u16 : t -> int -> int
+val write_u16 : t -> int -> int -> unit
+val read_u32 : t -> int -> int
+val write_u32 : t -> int -> int -> unit
+val read_u64 : t -> int -> int64
+val write_u64 : t -> int -> int64 -> unit
+
+(** [load_string m addr s] copies [s] into memory at [addr]. *)
+val load_string : t -> int -> string -> unit
+
+(** [read_string m addr len] copies [len] bytes out. *)
+val read_string : t -> int -> int -> string
+
+(** [zero_range m addr len] clears a range (monitor scrubbing of DRAM
+    regions before reallocation). *)
+val zero_range : t -> int -> int -> unit

@@ -1,0 +1,1 @@
+lib/ooo/core.ml: Array Btb Core_config Fifo L1 List Msi Printf Ptw Queue Ras Stats Tlb Tournament Trans_cache Uop

@@ -1,0 +1,1 @@
+lib/ooo/core.mli: Core_config L1 Stats Uop

@@ -1,0 +1,1 @@
+lib/ooo/core_config.mli:

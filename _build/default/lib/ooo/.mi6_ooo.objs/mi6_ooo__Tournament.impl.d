@@ -1,0 +1,1 @@
+lib/ooo/tournament.ml: Array Bool Stdlib

@@ -1,0 +1,852 @@
+let sb_tag = 1 lsl 41
+let never = max_int
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type rob_state = Rs_waiting | Rs_issued | Rs_done
+
+type rob_entry = {
+  u : Uop.t;
+  dst_phys : int option;
+  old_phys : int option; (* previous mapping of the dst, freed at commit *)
+  src_phys : int list;
+  lq_slot : int option;
+  sq_slot : int option;
+  mutable state : rob_state;
+  mutable mispredict : bool;
+}
+
+type sq_entry = { sq_line : int; mutable sq_addr_ready : bool }
+
+type purge_phase = Pp_none | Pp_quiesce | Pp_flush of int (* start cycle *)
+
+type purge_kind = Pk_enter | Pk_exit | Pk_external
+
+type predictor_ctx = {
+  px_tournament : Tournament.snapshot;
+  px_btb : Btb.snapshot;
+}
+
+type t = {
+  cfg : Core_config.t;
+  l1i : L1.t;
+  l1d : L1.t;
+  stream : unit -> Uop.t option;
+  stats : Stats.t;
+  (* Front end *)
+  btb : Btb.t;
+  tournament : Tournament.t;
+  ras : Ras.t;
+  itlb : Tlb.t;
+  dtlb : Tlb.t;
+  l2tlb : Tlb.t;
+  tcache : Trans_cache.t;
+  ptw : Ptw.t;
+  fetch_q : rob_ref Fifo.t;
+  mutable stream_done : bool;
+  mutable fetch_stall_until : int;
+  mutable fetch_blocked_on_resolve : bool;
+  mutable fetch_wait_icache : bool;
+  mutable fetch_wait_itlb : bool;
+  mutable last_fetch_line : int;
+  mutable last_fetch_page : int;
+  (* Rename / backend *)
+  rob : rob_entry option array;
+  mutable rob_head : int;
+  mutable rob_tail : int;
+  mutable rob_count : int;
+  map_table : int array; (* logical -> phys *)
+  free_list : int Queue.t;
+  ready_at : int array; (* per phys reg *)
+  iq_alu : int list ref array; (* rob indices, oldest first (reversed store) *)
+  iq_mem : int list ref;
+  iq_fp : int list ref;
+  lq : bool array; (* slot busy *)
+  sq : sq_entry option array;
+  mutable sq_head : int;
+  mutable sq_tail : int;
+  mutable sq_count : int;
+  sb : bool array; (* store buffer slots busy *)
+  sb_lines : int array; (* line held by each store-buffer slot *)
+  sb_pending : int Queue.t; (* sb slots waiting to drain *)
+  mutable dtlb_outstanding : int;
+  events : (int * (unit -> unit)) list ref; (* deferred continuations *)
+  mutable purge : purge_phase;
+  mutable purge_kind : purge_kind;
+  mutable saved_predictors : predictor_ctx option;
+  mutable purge_requested : bool;
+  mutable committed : int;
+  mutable now : int;
+}
+
+and rob_ref = { pre_uop : Uop.t; pre_mispredict : bool }
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create cfg ~l1i ~l1d ~stream ~stats ~pt_base_line =
+  let tcache = Trans_cache.create ~entries_per_level:24 ~levels:2 in
+  let free_list = Queue.create () in
+  for p = 32 to cfg.Core_config.phys_regs - 1 do
+    Queue.add p free_list
+  done;
+  {
+    cfg;
+    l1i;
+    l1d;
+    stream;
+    stats;
+    btb = Btb.create ();
+    tournament = Tournament.create ();
+    ras = Ras.create ();
+    itlb = Tlb.create Tlb.l1_config;
+    dtlb = Tlb.create Tlb.l1_config;
+    l2tlb = Tlb.create Tlb.l2_config;
+    tcache;
+    ptw = Ptw.create ~max_walks:2 ~tcache ~pt_base_line ~table_window_lines:4096;
+    fetch_q = Fifo.create ~capacity:16;
+    stream_done = false;
+    fetch_stall_until = 0;
+    fetch_blocked_on_resolve = false;
+    fetch_wait_icache = false;
+    fetch_wait_itlb = false;
+    last_fetch_line = -1;
+    last_fetch_page = -1;
+    rob = Array.make cfg.Core_config.rob_entries None;
+    rob_head = 0;
+    rob_tail = 0;
+    rob_count = 0;
+    map_table = Array.init 32 (fun i -> i);
+    free_list;
+    ready_at = Array.make cfg.Core_config.phys_regs 0;
+    iq_alu = Array.init cfg.Core_config.alu_pipes (fun _ -> ref []);
+    iq_mem = ref [];
+    iq_fp = ref [];
+    lq = Array.make cfg.Core_config.lq_entries false;
+    sq = Array.make cfg.Core_config.sq_entries None;
+    sq_head = 0;
+    sq_tail = 0;
+    sq_count = 0;
+    sb = Array.make cfg.Core_config.sb_entries false;
+    sb_lines = Array.make cfg.Core_config.sb_entries 0;
+    sb_pending = Queue.create ();
+    dtlb_outstanding = 0;
+    events = ref [];
+    purge = Pp_none;
+    purge_kind = Pk_external;
+    saved_predictors = None;
+    purge_requested = false;
+    committed = 0;
+    now = 0;
+  }
+
+let committed_instructions t = t.committed
+let purging t = t.purge <> Pp_none
+
+let predictor_signature t =
+  (Tournament.state_signature t.tournament * 31)
+  + (Btb.occupancy t.btb * 7)
+  + Ras.depth t.ras
+
+let request_purge t = t.purge_requested <- true
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let after t delay k = t.events := (t.now + delay, k) :: !(t.events)
+
+let run_events t =
+  let due, rest = List.partition (fun (at, _) -> at <= t.now) !(t.events) in
+  t.events := rest;
+  (* Oldest first for determinism. *)
+  List.iter (fun (_, k) -> k ()) (List.rev due)
+
+(* ------------------------------------------------------------------ *)
+(* Translation (D-side)                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Attempt to begin translation; [k] fires when the translation is
+   available.  Returns false when the DTLB cannot take another miss this
+   cycle (caller retries next cycle). *)
+let translate_d t ~addr ~k =
+  let vpage = addr / 4096 in
+  if Tlb.lookup t.dtlb ~vpage then begin
+    k ();
+    true
+  end
+  else if t.dtlb_outstanding >= t.cfg.Core_config.dtlb_misses then false
+  else begin
+    Stats.incr t.stats "core.dtlb_misses";
+    t.dtlb_outstanding <- t.dtlb_outstanding + 1;
+    after t t.cfg.Core_config.l2tlb_latency (fun () ->
+        if Tlb.lookup t.l2tlb ~vpage then begin
+          Tlb.insert t.dtlb ~vpage;
+          t.dtlb_outstanding <- t.dtlb_outstanding - 1;
+          k ()
+        end
+        else begin
+          Stats.incr t.stats "core.l2tlb_misses";
+          (* Hardware walk; waits for a walker slot if both are busy. *)
+          let rec start_walk () =
+            if Ptw.can_start t.ptw then
+              Ptw.start t.ptw ~vpage ~on_done:(fun ~reads:_ ->
+                  Tlb.insert t.l2tlb ~vpage;
+                  Tlb.insert t.dtlb ~vpage;
+                  t.dtlb_outstanding <- t.dtlb_outstanding - 1;
+                  k ())
+            else after t 1 start_walk
+          in
+          start_walk ()
+        end);
+    true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* ROB helpers                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rob_entry t idx =
+  match t.rob.(idx) with
+  | Some e -> e
+  | None -> failwith "Core: dangling ROB index"
+
+let rob_full t = t.rob_count = Array.length t.rob
+let rob_empty t = t.rob_count = 0
+
+let srcs_ready t e = List.for_all (fun p -> t.ready_at.(p) <= t.now) e.src_phys
+
+let mark_done t idx =
+  let e = rob_entry t idx in
+  e.state <- Rs_done;
+  match e.dst_phys with
+  | Some p -> t.ready_at.(p) <- min t.ready_at.(p) t.now
+  | None -> ()
+
+let set_dst_ready_at t e at =
+  match e.dst_phys with
+  | Some p -> t.ready_at.(p) <- at
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Fetch                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Handle I-side line/page transitions; true when the µop's line is
+   available this cycle. *)
+let fetch_mem_ok t (u : Uop.t) =
+  let line = u.Uop.pc lsr 6 in
+  let page = u.Uop.pc lsr 12 in
+  if t.fetch_wait_icache || t.fetch_wait_itlb then false
+  else if line = t.last_fetch_line then true
+  else begin
+    (* Page transition first: I-TLB. *)
+    if page <> t.last_fetch_page && not (Tlb.lookup t.itlb ~vpage:page) then begin
+      Stats.incr t.stats "core.itlb_misses";
+      t.fetch_wait_itlb <- true;
+      after t t.cfg.Core_config.l2tlb_latency (fun () ->
+          if Tlb.lookup t.l2tlb ~vpage:page then begin
+            Tlb.insert t.itlb ~vpage:page;
+            t.fetch_wait_itlb <- false
+          end
+          else begin
+            let rec start_walk () =
+              if Ptw.can_start t.ptw then
+                Ptw.start t.ptw ~vpage:page ~on_done:(fun ~reads:_ ->
+                    Tlb.insert t.l2tlb ~vpage:page;
+                    Tlb.insert t.itlb ~vpage:page;
+                    t.fetch_wait_itlb <- false)
+              else after t 1 start_walk
+            in
+            start_walk ()
+          end);
+      false
+    end
+    else begin
+      if page <> t.last_fetch_page then t.last_fetch_page <- page;
+      (* I-cache: pipelined hits are free; misses stall fetch. *)
+      if L1.try_hit t.l1i ~line then begin
+        t.last_fetch_line <- line;
+        (* Next-line instruction prefetch (RiscyOO fetches ahead). *)
+        if L1.probe t.l1i ~line:(line + 1) = Msi.I && L1.can_accept t.l1i
+        then L1.request t.l1i ~line:(line + 1) ~store:false ~id:1;
+        true
+      end
+      else if L1.can_accept t.l1i then begin
+        L1.request t.l1i ~line ~store:false ~id:0;
+        t.fetch_wait_icache <- true;
+        t.last_fetch_line <- line;
+        (if L1.probe t.l1i ~line:(line + 1) = Msi.I && L1.can_accept t.l1i
+         then L1.request t.l1i ~line:(line + 1) ~store:false ~id:1);
+        false
+      end
+      else false
+    end
+  end
+
+(* Branch prediction at fetch: trains the structures and reports whether
+   fetch must stall (resolution-based redirect) or take a small
+   decode-time redirect. *)
+type fetch_outcome = F_ok | F_stall_until_resolve | F_decode_redirect
+
+let predict_control t (u : Uop.t) =
+  match u.Uop.kind with
+  | Uop.Branch { taken; target } ->
+    Stats.incr t.stats "core.branches";
+    let pred_dir = Tournament.predict t.tournament ~pc:u.Uop.pc in
+    let btb_target = Btb.predict t.btb ~pc:u.Uop.pc in
+    Tournament.update t.tournament ~pc:u.Uop.pc ~taken;
+    if taken then Btb.update t.btb ~pc:u.Uop.pc ~target;
+    if pred_dir <> taken || (taken && btb_target <> Some target) then begin
+      Stats.incr t.stats "core.mispredicts";
+      F_stall_until_resolve
+    end
+    else F_ok
+  | Uop.Jump { target; kind } -> (
+    match kind with
+    | `Plain | `Call ->
+      if kind = `Call then Ras.push t.ras (u.Uop.pc + 4);
+      let hit = Btb.predict t.btb ~pc:u.Uop.pc = Some target in
+      Btb.update t.btb ~pc:u.Uop.pc ~target;
+      if hit then F_ok
+      else begin
+        Stats.incr t.stats "core.btb_jump_misses";
+        F_decode_redirect
+      end
+    | `Return ->
+      let pred = Ras.pop t.ras in
+      if pred = target then F_ok
+      else begin
+        Stats.incr t.stats "core.ras_mispredicts";
+        Stats.incr t.stats "core.mispredicts";
+        F_stall_until_resolve
+      end)
+  | _ -> F_ok
+
+let fetch_stage t =
+  if
+    t.now >= t.fetch_stall_until
+    && (not t.fetch_blocked_on_resolve)
+    && not t.stream_done
+  then begin
+    let budget = ref t.cfg.Core_config.fetch_width in
+    let stop = ref false in
+    while !budget > 0 && (not !stop) && Fifo.can_enq t.fetch_q do
+      match t.stream () with
+      | None ->
+        t.stream_done <- true;
+        stop := true
+      | Some u ->
+        (* The µop is "fetched" only if its I-line is ready; otherwise it
+           still enters the fetch queue but fetch stalls behind it.  We
+           model by consuming it and stalling afterwards. *)
+        let mem_ok = fetch_mem_ok t u in
+        Stats.incr t.stats "core.fetched";
+        let mispredicted = ref false in
+        (match u.Uop.kind with
+        | Uop.Branch _ | Uop.Jump _ -> (
+          match predict_control t u with
+          | F_ok -> ()
+          | F_stall_until_resolve ->
+            mispredicted := true;
+            t.fetch_blocked_on_resolve <- true;
+            stop := true
+          | F_decode_redirect ->
+            t.fetch_stall_until <- t.now + t.cfg.Core_config.decode_redirect;
+            stop := true)
+        | Uop.Enter_kernel | Uop.Exit_kernel ->
+          (* Trap boundary: the front end redirects into/out of the
+             handler. *)
+          t.fetch_stall_until <- t.now + t.cfg.Core_config.redirect_penalty;
+          stop := true
+        | Uop.Alu _ | Uop.Load _ | Uop.Store _ -> ());
+        Fifo.enq t.fetch_q { pre_uop = u; pre_mispredict = !mispredicted };
+        if not mem_ok then stop := true else decr budget
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Rename / dispatch                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_lq t =
+  let rec go i =
+    if i >= Array.length t.lq then None
+    else if not t.lq.(i) then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let dispatch_iq t idx (u : Uop.t) =
+  match u.Uop.kind with
+  | Uop.Load _ | Uop.Store _ -> t.iq_mem := idx :: !(t.iq_mem)
+  | Uop.Alu { pipe = Uop.Pipe_fp; _ } -> t.iq_fp := idx :: !(t.iq_fp)
+  | Uop.Alu _ | Uop.Branch _ | Uop.Jump _ ->
+    (* Pick the shorter ALU issue queue. *)
+    let best = ref 0 in
+    Array.iteri
+      (fun i q ->
+        if List.length !q < List.length !(t.iq_alu.(!best)) then best := i
+        else ignore q)
+      t.iq_alu;
+    let q = t.iq_alu.(!best) in
+    q := idx :: !q
+  | Uop.Enter_kernel | Uop.Exit_kernel -> ()
+
+let iq_len q = List.length !q
+
+let iq_has_room t (u : Uop.t) =
+  let cap = t.cfg.Core_config.iq_entries in
+  match u.Uop.kind with
+  | Uop.Load _ | Uop.Store _ -> iq_len t.iq_mem < cap
+  | Uop.Alu { pipe = Uop.Pipe_fp; _ } -> iq_len t.iq_fp < cap
+  | Uop.Alu _ | Uop.Branch _ | Uop.Jump _ ->
+    Array.exists (fun q -> iq_len q < cap) t.iq_alu
+  | Uop.Enter_kernel | Uop.Exit_kernel -> true
+
+let rename_stage t =
+  let budget = ref t.cfg.Core_config.fetch_width in
+  let stop = ref false in
+  while !budget > 0 && (not !stop) && Fifo.can_deq t.fetch_q do
+    let { pre_uop = u; pre_mispredict } = Fifo.peek t.fetch_q in
+    let is_mem = Uop.is_mem u in
+    let is_marker =
+      match u.Uop.kind with
+      | Uop.Enter_kernel | Uop.Exit_kernel -> true
+      | _ -> false
+    in
+    let nonspec_block =
+      t.cfg.Core_config.nonspec_mem && is_mem && not (rob_empty t)
+    in
+    let marker_block = is_marker && not (rob_empty t) in
+    let needs_dst = u.Uop.dst <> None in
+    let sq_needed = match u.Uop.kind with Uop.Store _ -> true | _ -> false in
+    let lq_needed = match u.Uop.kind with Uop.Load _ -> true | _ -> false in
+    if
+      rob_full t || nonspec_block || marker_block
+      || (needs_dst && Queue.is_empty t.free_list)
+      || (not (iq_has_room t u))
+      || (sq_needed && t.sq_count = Array.length t.sq)
+      || (lq_needed && alloc_lq t = None)
+    then stop := true
+    else begin
+      ignore (Fifo.deq t.fetch_q);
+      if is_marker then begin
+        (* Serialized trap boundary: costs the trap latency and, in FLUSH
+           variants, triggers the purge state machine.  Nothing younger
+           may rename this cycle (the purge needs an empty machine). *)
+        t.committed <- t.committed + 1;
+        Stats.incr t.stats "core.traps";
+        if t.cfg.Core_config.flush_on_trap then begin
+          t.purge <- Pp_quiesce;
+          t.purge_kind <-
+            (match u.Uop.kind with
+            | Uop.Enter_kernel -> Pk_enter
+            | _ -> Pk_exit);
+          stop := true
+        end
+      end
+      else begin
+        let src_phys = List.map (fun r -> t.map_table.(r)) u.Uop.srcs in
+        let dst_phys, old_phys =
+          match u.Uop.dst with
+          | None -> (None, None)
+          | Some d ->
+            let p = Queue.pop t.free_list in
+            let old = t.map_table.(d) in
+            t.map_table.(d) <- p;
+            t.ready_at.(p) <- never;
+            (Some p, Some old)
+        in
+        let lq_slot =
+          if lq_needed then begin
+            match alloc_lq t with
+            | Some s ->
+              t.lq.(s) <- true;
+              Some s
+            | None -> assert false
+          end
+          else None
+        in
+        let sq_slot =
+          if sq_needed then begin
+            let s = t.sq_tail in
+            t.sq_tail <- (t.sq_tail + 1) mod Array.length t.sq;
+            t.sq_count <- t.sq_count + 1;
+            (match u.Uop.kind with
+            | Uop.Store { addr } ->
+              t.sq.(s) <- Some { sq_line = addr lsr 6; sq_addr_ready = false }
+            | _ -> assert false);
+            Some s
+          end
+          else None
+        in
+        let idx = t.rob_tail in
+        t.rob.(idx) <-
+          Some
+            {
+              u;
+              dst_phys;
+              old_phys;
+              src_phys;
+              lq_slot;
+              sq_slot;
+              state = Rs_waiting;
+              mispredict = pre_mispredict;
+            };
+        t.rob_tail <- (t.rob_tail + 1) mod Array.length t.rob;
+        t.rob_count <- t.rob_count + 1;
+        dispatch_iq t idx u
+      end;
+      decr budget
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Issue / execute                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Oldest-first scan: queues store newest-first, so scan the reverse. *)
+let pick_ready t q =
+  let rec go = function
+    | [] -> None
+    | idx :: rest ->
+      let e = rob_entry t idx in
+      if e.state = Rs_waiting && srcs_ready t e then Some idx else go rest
+  in
+  go (List.rev !q)
+
+let remove_from q idx = q := List.filter (fun i -> i <> idx) !q
+
+(* Store-to-load forwarding: an older SQ entry with a ready address on the
+   same line forwards, as does a store-buffer entry that has retired but
+   not yet drained to the D-cache.  (Timing model: unknown older store
+   addresses do not block the load — RiscyOO issues loads
+   speculatively.) *)
+let forwardable t line =
+  let found = ref false in
+  Array.iter
+    (fun slot ->
+      match slot with
+      | Some s when s.sq_addr_ready && s.sq_line = line -> found := true
+      | _ -> ())
+    t.sq;
+  Array.iteri
+    (fun i busy -> if busy && t.sb_lines.(i) = line then found := true)
+    t.sb;
+  !found
+
+let issue_alu_like t idx =
+  let e = rob_entry t idx in
+  e.state <- Rs_issued;
+  let latency =
+    match e.u.Uop.kind with
+    | Uop.Alu { latency; _ } -> latency
+    | Uop.Branch _ | Uop.Jump _ -> 1
+    | _ -> assert false
+  in
+  set_dst_ready_at t e (t.now + latency);
+  after t latency (fun () ->
+      e.state <- Rs_done;
+      (* Control resolution restarts a stalled front end. *)
+      match e.u.Uop.kind with
+      | Uop.Branch _ | Uop.Jump _ ->
+        if e.mispredict then begin
+          e.mispredict <- false;
+          t.fetch_blocked_on_resolve <- false;
+          t.fetch_stall_until <-
+            max t.fetch_stall_until
+              (t.now + t.cfg.Core_config.redirect_penalty)
+        end
+      | _ -> ())
+
+let issue_mem t idx =
+  let e = rob_entry t idx in
+  e.state <- Rs_issued;
+  match e.u.Uop.kind with
+  | Uop.Store { addr } ->
+    (* Address generation + translation; the store "executes" when its
+       address is translated and entered into the SQ. *)
+    let k () =
+      after t 1 (fun () ->
+          (match e.sq_slot with
+          | Some s -> (
+            match t.sq.(s) with
+            | Some sq -> sq.sq_addr_ready <- true
+            | None -> assert false)
+          | None -> assert false);
+          e.state <- Rs_done)
+    in
+    if not (translate_d t ~addr ~k) then e.state <- Rs_waiting (* retry *)
+  | Uop.Load { addr } ->
+    let line = addr lsr 6 in
+    let k () =
+      if forwardable t line then begin
+        Stats.incr t.stats "core.store_forwards";
+        after t 1 (fun () -> mark_done t idx)
+      end
+      else begin
+        let lq_slot = match e.lq_slot with Some s -> s | None -> assert false in
+        let rec try_cache () =
+          if L1.can_accept t.l1d then
+            L1.request t.l1d ~line ~store:false ~id:lq_slot
+          else after t 1 try_cache
+        in
+        try_cache ()
+      end
+    in
+    if not (translate_d t ~addr ~k) then e.state <- Rs_waiting
+  | _ -> assert false
+
+let issue_stage t =
+  Array.iter
+    (fun q ->
+      match pick_ready t q with
+      | Some idx ->
+        remove_from q idx;
+        issue_alu_like t idx
+      | None -> ())
+    t.iq_alu;
+  (match pick_ready t t.iq_fp with
+  | Some idx ->
+    remove_from t.iq_fp idx;
+    issue_alu_like t idx
+  | None -> ());
+  match pick_ready t t.iq_mem with
+  | Some idx -> (
+    issue_mem t idx;
+    (* Leave in the queue on a DTLB-port stall (state reverted). *)
+    let e = rob_entry t idx in
+    match e.state with
+    | Rs_waiting -> ()
+    | _ -> remove_from t.iq_mem idx)
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Store buffer                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_sb t =
+  let rec go i =
+    if i >= Array.length t.sb then None
+    else if not t.sb.(i) then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let sb_stage t =
+  match Queue.peek_opt t.sb_pending with
+  | Some slot ->
+    if L1.can_accept t.l1d then begin
+      ignore (Queue.pop t.sb_pending);
+      L1.request t.l1d ~line:t.sb_lines.(slot) ~store:true ~id:(sb_tag lor slot)
+    end
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Commit                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let commit_stage t =
+  let budget = ref t.cfg.Core_config.commit_width in
+  let stop = ref false in
+  while !budget > 0 && (not !stop) && not (rob_empty t) do
+    match t.rob.(t.rob_head) with
+    | None -> assert false
+    | Some e ->
+      if e.state <> Rs_done then stop := true
+      else begin
+        let can_retire =
+          match e.u.Uop.kind with
+          | Uop.Store _ -> (
+            (* Needs a store-buffer slot; the SB drains in background. *)
+            match alloc_sb t with
+            | Some slot ->
+              t.sb.(slot) <- true;
+              (match e.sq_slot with
+              | Some s -> (
+                match t.sq.(s) with
+                | Some sq -> t.sb_lines.(slot) <- sq.sq_line
+                | None -> assert false)
+              | None -> assert false);
+              Queue.add slot t.sb_pending;
+              true
+            | None ->
+              Stats.incr t.stats "core.sb_full_stalls";
+              false)
+          | _ -> true
+        in
+        if not can_retire then stop := true
+        else begin
+          (match e.old_phys with
+          | Some p -> Queue.add p t.free_list
+          | None -> ());
+          (match e.lq_slot with Some s -> t.lq.(s) <- false | None -> ());
+          (match e.sq_slot with
+          | Some s ->
+            t.sq.(s) <- None;
+            t.sq_head <- (t.sq_head + 1) mod Array.length t.sq;
+            t.sq_count <- t.sq_count - 1
+          | None -> ());
+          t.rob.(t.rob_head) <- None;
+          t.rob_head <- (t.rob_head + 1) mod Array.length t.rob;
+          t.rob_count <- t.rob_count - 1;
+          t.committed <- t.committed + 1;
+          decr budget
+        end
+      end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Purge state machine (Section 6 / 7.1)                               *)
+(* ------------------------------------------------------------------ *)
+
+let backend_quiescent t =
+  rob_empty t
+  && Queue.is_empty t.sb_pending
+  && Array.for_all not t.sb
+  && L1.in_flight t.l1d = 0
+  && L1.in_flight t.l1i = 0
+  && Ptw.active_walks t.ptw = 0
+  && t.dtlb_outstanding = 0
+  && !(t.events) = []
+
+let debug_quiescence t =
+  Printf.sprintf
+    "rob=%d sbp=%d sb=%b l1d=%d l1i=%d ptw=%d dtlb=%d events=%d wait_ic=%b wait_it=%b"
+    t.rob_count (Queue.length t.sb_pending)
+    (Array.exists (fun x -> x) t.sb)
+    (L1.in_flight t.l1d) (L1.in_flight t.l1i) (Ptw.active_walks t.ptw)
+    t.dtlb_outstanding (List.length !(t.events)) t.fetch_wait_icache
+    t.fetch_wait_itlb
+
+let purge_stage t =
+  match t.purge with
+  | Pp_none -> ()
+  | Pp_quiesce ->
+    Stats.incr t.stats "core.purge_stall_cycles";
+    if backend_quiescent t then begin
+      L1.begin_flush t.l1i;
+      L1.begin_flush t.l1d;
+      t.purge <- Pp_flush t.now
+    end
+  | Pp_flush started ->
+    Stats.incr t.stats "core.purge_stall_cycles";
+    (* One line per cycle per L1; TLB sets and predictor entries flush in
+       parallel within the purge floor. *)
+    let i_done = if L1.is_flushing t.l1i then L1.flush_step t.l1i else true in
+    let d_done = if L1.is_flushing t.l1d then L1.flush_step t.l1d else true in
+    if i_done && d_done && t.now - started >= t.cfg.Core_config.purge_floor
+    then begin
+      (* Predictor handling: the optional save/restore extension keeps a
+         domain's own predictor state across the kernel excursion; the
+         kernel itself always starts from the public reset state. *)
+      let sr = t.cfg.Core_config.save_restore_predictors in
+      (match (sr, t.purge_kind, t.saved_predictors) with
+      | true, Pk_enter, _ ->
+        t.saved_predictors <-
+          Some
+            {
+              px_tournament = Tournament.snapshot t.tournament;
+              px_btb = Btb.snapshot t.btb;
+            };
+        Tournament.flush t.tournament;
+        Btb.flush t.btb
+      | true, Pk_exit, Some ctx ->
+        Tournament.restore t.tournament ctx.px_tournament;
+        Btb.restore t.btb ctx.px_btb;
+        t.saved_predictors <- None;
+        Stats.incr t.stats "core.predictor_restores"
+      | _ ->
+        t.saved_predictors <- None;
+        Tournament.flush t.tournament;
+        Btb.flush t.btb);
+      Ras.flush t.ras;
+      Tlb.flush_all t.itlb;
+      Tlb.flush_all t.dtlb;
+      Tlb.flush_all t.l2tlb;
+      Trans_cache.flush t.tcache;
+      t.last_fetch_line <- -1;
+      t.last_fetch_page <- -1;
+      Stats.incr t.stats "core.purges";
+      t.purge <- Pp_none
+    end
+
+(* L1.flush_step raises when not flushing; during Pp_flush both are.  The
+   two flush_step calls above also send the per-line eviction notices that
+   make L1 flushes cost one LLC message per line (Section 7.1). *)
+
+(* ------------------------------------------------------------------ *)
+(* Tick and completions                                                *)
+(* ------------------------------------------------------------------ *)
+
+let tick t ~now =
+  t.now <- now;
+  Stats.incr t.stats "core.cycles";
+  run_events t;
+  match t.purge with
+  | Pp_quiesce | Pp_flush _ ->
+    (* The core idles while purging; only the drain machinery runs. *)
+    sb_stage t;
+    Ptw.tick t.ptw ~issue:(fun ~line ~id ->
+        if L1.can_accept t.l1d then begin
+          L1.request t.l1d ~line ~store:false ~id;
+          true
+        end
+        else false);
+    commit_stage t;
+    purge_stage t
+  | Pp_none ->
+    if t.purge_requested then begin
+      t.purge_requested <- false;
+      t.purge <- Pp_quiesce;
+      t.purge_kind <- Pk_external;
+      purge_stage t
+    end
+    else begin
+      commit_stage t;
+      issue_stage t;
+      sb_stage t;
+      Ptw.tick t.ptw ~issue:(fun ~line ~id ->
+          if L1.can_accept t.l1d then begin
+            L1.request t.l1d ~line ~store:false ~id;
+            true
+          end
+          else false);
+      rename_stage t;
+      fetch_stage t
+    end
+
+let mem_complete t ~now ~id =
+  t.now <- max t.now now;
+  if id land Ptw.id_tag <> 0 then Ptw.mem_response t.ptw ~id
+  else if id land sb_tag <> 0 then t.sb.(id land lnot sb_tag) <- false
+  else begin
+    (* Load completion: find the ROB entry owning this LQ slot. *)
+    let found = ref false in
+    Array.iteri
+      (fun i entry ->
+        match entry with
+        | Some e when (not !found) && e.lq_slot = Some id && e.state = Rs_issued
+          ->
+          found := true;
+          ignore i;
+          e.state <- Rs_done;
+          set_dst_ready_at t e now
+        | _ -> ())
+      t.rob;
+    if not !found then failwith "Core.mem_complete: orphan load completion"
+  end
+
+let icache_complete t ~id =
+  (* id 1 completions are prefetches; only the demand line unblocks
+     fetch. *)
+  if id = 0 then t.fetch_wait_icache <- false
+
+let finished t =
+  t.stream_done && rob_empty t && Fifo.is_empty t.fetch_q
+  && backend_quiescent t && t.purge = Pp_none
+  && not t.purge_requested

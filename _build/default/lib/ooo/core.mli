@@ -1,0 +1,64 @@
+(** Cycle-level out-of-order core (RiscyOO-style, Figure 4): 2-wide
+    fetch with BTB + tournament predictor + RAS, rename with a physical
+    register free list, 80-entry ROB, per-pipe issue queues (2 ALU, 1 MEM,
+    1 FP), load/store queues with store-to-load forwarding, a 4-entry
+    store buffer, non-blocking L1s, two-level TLBs and a hardware page
+    walker.
+
+    Trace-driven: µops arrive from a stream carrying the committed path;
+    on a branch misprediction fetch stalls until the branch resolves in
+    execute plus the redirect penalty (wrong-path work is not simulated,
+    its fetch-starvation cost is).
+
+    MI6 features:
+    - [flush_on_trap]: at every [Enter_kernel]/[Exit_kernel] boundary the
+      core drains, then purges all per-core microarchitectural state at
+      the hardware flush rates of Section 7.1 (>= [purge_floor] cycles:
+      one L1 line per cycle, one L2-TLB set per cycle, 8 predictor
+      entries per cycle), leaving predictors, TLBs, and L1s in their
+      public reset state.
+    - [nonspec_mem]: a memory µop renames only once the ROB is empty
+      (Section 7.5's NONSPEC implementation). *)
+
+type t
+
+val create :
+  Core_config.t ->
+  l1i:L1.t ->
+  l1d:L1.t ->
+  stream:(unit -> Uop.t option) ->
+  stats:Stats.t ->
+  pt_base_line:int ->
+  t
+
+(** [tick t ~now] advances the core one cycle.  The caller then ticks the
+    L1s (routing completions back via {!mem_complete} / {!icache_complete})
+    and the LLC. *)
+val tick : t -> now:int -> unit
+
+(** [mem_complete t ~now ~id] — a D-side request (load, page-walk read, or
+    store-buffer drain) finished. *)
+val mem_complete : t -> now:int -> id:int -> unit
+
+(** [icache_complete t ~id] — the pending I-fetch line arrived. *)
+val icache_complete : t -> id:int -> unit
+
+(** [finished t] — stream exhausted and the machine is drained. *)
+val finished : t -> bool
+
+val committed_instructions : t -> int
+
+(** [purging t] — core is inside a purge (tests). *)
+val purging : t -> bool
+
+(** [predictor_signature t] hashes branch-predictor + BTB + RAS state
+    (purge tests: must equal a fresh core's after purge). *)
+val predictor_signature : t -> int
+
+(** [debug_quiescence t] — internal-state summary for debugging. *)
+val debug_quiescence : t -> string
+
+(** [request_purge t] — external (security-monitor initiated) purge, used
+    by the machine model when descheduling an enclave outside a trap
+    boundary.  Takes effect like a trap-boundary purge. *)
+val request_purge : t -> unit

@@ -1,0 +1,42 @@
+(** Alpha 21264-style tournament branch direction predictor (Figure 4,
+    citing Kessler): a local predictor (1024-entry × 10-bit history table
+    feeding 1024 × 3-bit counters), a global predictor (4096 × 2-bit
+    counters indexed by 12 bits of global history), and a choice predictor
+    (4096 × 2-bit) that picks between them.
+
+    The largest table is 4096 × 2 bits, matching the purge cost analysis
+    in Section 7.1 (8 entries discarded per cycle → 512 cycles).
+
+    Predictions and updates are immediate (trace-driven style): [predict]
+    reads the current state; [update] folds in the actual outcome. *)
+
+type t
+
+val create : unit -> t
+
+(** [predict t ~pc] is the predicted direction. *)
+val predict : t -> pc:int -> bool
+
+(** [update t ~pc ~taken] trains local, global, and choice tables and
+    shifts the histories. *)
+val update : t -> pc:int -> taken:bool -> unit
+
+(** [flush t] resets every table and history to the public initial state
+    (purge). *)
+val flush : t -> unit
+
+(** [state_signature t] hashes all predictor state; equal signatures mean
+    software-indistinguishable predictors (purge test). *)
+val state_signature : t -> int
+
+(** Save/restore primitives — the optional purge optimization of paper
+    Section 6 ("the processor may opt to implement primitives for saving
+    and restoring predictor state"): a domain's predictor state is saved
+    at purge and restored when the same domain is rescheduled, avoiding
+    the cold-start cost without leaking across domains (the restored
+    state is the domain's own). *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

@@ -1,0 +1,49 @@
+type pipe_class = Pipe_alu | Pipe_mem | Pipe_fp
+
+type kind =
+  | Alu of { latency : int; pipe : pipe_class }
+  | Load of { addr : int }
+  | Store of { addr : int }
+  | Branch of { taken : bool; target : int }
+  | Jump of { target : int; kind : [ `Plain | `Call | `Return ] }
+  | Enter_kernel
+  | Exit_kernel
+
+type t = {
+  pc : int;
+  kind : kind;
+  dst : int option;
+  srcs : int list;
+}
+
+let is_mem u = match u.kind with Load _ | Store _ -> true | _ -> false
+
+let is_control u =
+  match u.kind with Branch _ | Jump _ -> true | _ -> false
+
+let next_pc u =
+  match u.kind with
+  | Branch { taken = true; target; _ } -> target
+  | Jump { target; _ } -> target
+  | Alu _ | Load _ | Store _ | Branch { taken = false; _ } | Enter_kernel
+  | Exit_kernel ->
+    u.pc + 4
+
+let alu ?(latency = 1) ?(pipe = Pipe_alu) ~pc ~dst ~srcs () =
+  { pc; kind = Alu { latency; pipe }; dst = Some dst; srcs }
+
+let load ~pc ~addr ~dst ~srcs () =
+  { pc; kind = Load { addr }; dst = Some dst; srcs }
+
+let store ~pc ~addr ~srcs () = { pc; kind = Store { addr }; dst = None; srcs }
+
+let branch ~pc ~taken ~target ~srcs () =
+  { pc; kind = Branch { taken; target }; dst = None; srcs }
+
+let jump ~pc ~target ~kind () =
+  {
+    pc;
+    kind = Jump { target; kind };
+    dst = (match kind with `Call -> Some 1 | _ -> None);
+    srcs = (match kind with `Return -> [ 1 ] | _ -> []);
+  }

@@ -1,0 +1,41 @@
+(** Micro-ops consumed by the out-of-order core timing model.
+
+    The trace carries the {e committed} path: branch µops know their real
+    outcome, loads and stores carry their addresses.  Register identifiers
+    are logical (0..31); the core renames them.  [Enter_kernel] /
+    [Exit_kernel] mark trap boundaries (syscalls, timer interrupts): the
+    core serializes there and, in the FLUSH/MI6 variants, purges per-core
+    microarchitectural state (paper Section 7.1 flushes on both trap entry
+    and trap return). *)
+
+type pipe_class = Pipe_alu | Pipe_mem | Pipe_fp
+
+type kind =
+  | Alu of { latency : int; pipe : pipe_class }
+  | Load of { addr : int }  (** byte address *)
+  | Store of { addr : int }
+  | Branch of { taken : bool; target : int }
+  | Jump of { target : int; kind : [ `Plain | `Call | `Return ] }
+  | Enter_kernel
+  | Exit_kernel
+
+type t = {
+  pc : int;
+  kind : kind;
+  dst : int option;  (** logical destination register *)
+  srcs : int list;  (** logical source registers *)
+}
+
+val is_mem : t -> bool
+val is_control : t -> bool
+
+(** [next_pc u] is the address of the next committed instruction. *)
+val next_pc : t -> int
+
+(** Convenience constructors used by workload generators and tests. *)
+
+val alu : ?latency:int -> ?pipe:pipe_class -> pc:int -> dst:int -> srcs:int list -> unit -> t
+val load : pc:int -> addr:int -> dst:int -> srcs:int list -> unit -> t
+val store : pc:int -> addr:int -> srcs:int list -> unit -> t
+val branch : pc:int -> taken:bool -> target:int -> srcs:int list -> unit -> t
+val jump : pc:int -> target:int -> kind:[ `Plain | `Call | `Return ] -> unit -> t

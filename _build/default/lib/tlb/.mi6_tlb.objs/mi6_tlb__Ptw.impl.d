@@ -1,0 +1,1 @@
+lib/tlb/ptw.ml: Array Trans_cache

@@ -1,0 +1,1 @@
+lib/tlb/ptw.mli: Trans_cache

@@ -1,0 +1,1 @@
+lib/tlb/trans_cache.mli:

@@ -1,0 +1,107 @@
+let id_tag = 1 lsl 40
+
+type walk = {
+  vpage : int;
+  mutable levels_left : int list; (* levels still to read, root first *)
+  mutable waiting_mem : bool;
+  mutable reads : int;
+  on_done : reads:int -> unit;
+}
+
+type t = {
+  max_walks : int;
+  tcache : Trans_cache.t;
+  pt_base_line : int;
+  window : int;
+  slots : walk option array;
+}
+
+let create ~max_walks ~tcache ~pt_base_line ~table_window_lines =
+  {
+    max_walks;
+    tcache;
+    pt_base_line;
+    window = table_window_lines;
+    slots = Array.make max_walks None;
+  }
+
+let active_walks t =
+  Array.fold_left (fun n s -> n + match s with Some _ -> 1 | None -> 0) 0 t.slots
+
+let can_start t = active_walks t < t.max_walks
+
+(* Sv39 structure: level 2 = root (vpn[26:18]), level 1 = mid
+   (vpn[26:9]), level 0 = leaf (full vpn).  Each PTE is 8 bytes. *)
+let prefix ~level ~vpage =
+  match level with
+  | 2 -> vpage lsr 18
+  | 1 -> vpage lsr 9
+  | 0 -> vpage
+  | _ -> invalid_arg "Ptw: bad level"
+
+let pte_line t ~level ~vpage =
+  let p = prefix ~level ~vpage in
+  (* 8 PTEs per 64-byte line. *)
+  t.pt_base_line + ((2 - level) * t.window) + (p / 8 mod t.window)
+
+let start t ~vpage ~on_done =
+  if not (can_start t) then failwith "Ptw.start: no free walk slot";
+  (* Translation cache: skipping levels whose prefix is cached. *)
+  let levels_left =
+    if Trans_cache.lookup t.tcache ~level:1 ~prefix:(prefix ~level:1 ~vpage)
+    then [ 0 ]
+    else if
+      Trans_cache.lookup t.tcache ~level:0 ~prefix:(prefix ~level:2 ~vpage)
+      (* tcache level 0 stores root-level (walk level 2) prefixes *)
+    then [ 1; 0 ]
+    else [ 2; 1; 0 ]
+  in
+  let rec find i =
+    if i >= t.max_walks then assert false
+    else if t.slots.(i) = None then i
+    else find (i + 1)
+  in
+  let slot = find 0 in
+  t.slots.(slot) <-
+    Some { vpage; levels_left; waiting_mem = false; reads = 0; on_done }
+
+let tick t ~issue =
+  (* Issue at most one PTE read per cycle, lowest slot first. *)
+  let issued = ref false in
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Some w when (not !issued) && (not w.waiting_mem) && w.levels_left <> []
+        -> (
+        match w.levels_left with
+        | level :: _ ->
+          let line = pte_line t ~level ~vpage:w.vpage in
+          if issue ~line ~id:(id_tag lor i) then begin
+            w.waiting_mem <- true;
+            issued := true
+          end
+        | [] -> ())
+      | _ -> ())
+    t.slots
+
+let mem_response t ~id =
+  let slot = id land lnot id_tag in
+  match t.slots.(slot) with
+  | None -> failwith "Ptw.mem_response: no walk in slot"
+  | Some w -> (
+    if not w.waiting_mem then failwith "Ptw.mem_response: not waiting";
+    w.waiting_mem <- false;
+    w.reads <- w.reads + 1;
+    match w.levels_left with
+    | [] -> assert false
+    | _ :: rest ->
+      w.levels_left <- rest;
+      if rest = [] then begin
+        (* Walk complete: populate the translation cache. *)
+        Trans_cache.insert t.tcache ~level:0
+          ~prefix:(prefix ~level:2 ~vpage:w.vpage);
+        Trans_cache.insert t.tcache ~level:1
+          ~prefix:(prefix ~level:1 ~vpage:w.vpage);
+        t.slots.(slot) <- None;
+        w.on_done ~reads:w.reads
+      end)

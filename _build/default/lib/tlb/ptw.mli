@@ -1,0 +1,48 @@
+(** Page-table-walker timing engine.
+
+    A walk for a virtual page reads up to three page-table entries through
+    the data-cache port; the translation cache short-circuits the upper
+    levels.  PTE addresses are a deterministic function of the virtual page
+    number over a page-table window in physical memory, so nearby pages
+    share PTE cache lines — the locality that makes the L2 TLB and
+    translation cache earn their keep.
+
+    The walker issues at most one memory request per cycle through the
+    [issue] callback (which may refuse; the walker retries).  The owner
+    reports completions with {!mem_response}.  Finished walks invoke their
+    continuation with the number of memory reads performed. *)
+
+type t
+
+(** [create ~max_walks ~tcache ~pt_base_line ~table_window_lines] — the
+    level-[l] PTE for a page lives within a window of
+    [table_window_lines] cache lines starting at
+    [pt_base_line + l * table_window_lines]. *)
+val create :
+  max_walks:int ->
+  tcache:Trans_cache.t ->
+  pt_base_line:int ->
+  table_window_lines:int ->
+  t
+
+val can_start : t -> bool
+val active_walks : t -> int
+
+(** [start t ~vpage ~on_done] begins a walk; [on_done ~reads] fires when
+    it finishes.  Raises if [can_start] is false. *)
+val start : t -> vpage:int -> on_done:(reads:int -> unit) -> unit
+
+(** [tick t ~issue] gives the walker one cycle; it calls
+    [issue ~line ~id] at most once ([issue] returns acceptance). *)
+val tick : t -> issue:(line:int -> id:int -> bool) -> unit
+
+(** [mem_response t ~id] — a PTE read completed. *)
+val mem_response : t -> id:int -> unit
+
+(** [pte_line t ~level ~vpage] — exposed for tests: the cache line the
+    walker reads at [level] for [vpage]. *)
+val pte_line : t -> level:int -> vpage:int -> int
+
+(** Ids issued by the walker are tagged with this bit to avoid colliding
+    with core load/store ids. *)
+val id_tag : int

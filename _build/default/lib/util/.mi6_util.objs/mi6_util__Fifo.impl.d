@@ -1,0 +1,1 @@
+lib/util/fifo.ml: Array List

@@ -1,0 +1,1 @@
+lib/util/hmac.ml: Bytes Char Sha256 String

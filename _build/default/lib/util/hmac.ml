@@ -1,0 +1,25 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let padded = Bytes.make block_size '\x00' in
+  Bytes.blit_string key 0 padded 0 (String.length key);
+  Bytes.unsafe_to_string padded
+
+let xor_with s byte =
+  String.map (fun c -> Char.chr (Char.code c lxor byte)) s
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.digest (xor_with key 0x36 ^ msg) in
+  Sha256.digest (xor_with key 0x5c ^ inner)
+
+let verify ~key ~tag msg =
+  let expect = mac ~key msg in
+  String.length tag = String.length expect
+  &&
+  let diff = ref 0 in
+  String.iteri
+    (fun i c -> diff := !diff lor (Char.code c lxor Char.code expect.[i]))
+    tag;
+  !diff = 0

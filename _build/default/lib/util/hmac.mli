@@ -1,0 +1,14 @@
+(** HMAC-SHA-256 (RFC 2104).
+
+    Stands in for the asymmetric signature of Sanctum's attestation chain:
+    the simulated platform and the simulated remote verifier share the
+    platform root key, so a MAC over (measurement, challenge, report data)
+    plays the role of the attestation signature.  Documented as a
+    substitution in DESIGN.md. *)
+
+(** [mac ~key msg] is the 32-byte HMAC-SHA-256 tag. *)
+val mac : key:string -> string -> string
+
+(** [verify ~key ~tag msg] checks the tag in constant time with respect to
+    tag contents. *)
+val verify : key:string -> tag:string -> string -> bool

@@ -1,0 +1,44 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    Every source of randomness in the simulator (workload generation,
+    pseudo-random cache replacement, property-test pre-states) flows from one
+    seed through explicit [t] values, so whole-machine runs are reproducible
+    bit-for-bit.  That determinism is what makes the non-interference tests
+    meaningful: two runs that differ only in the victim's secret must produce
+    identical attacker observation traces.
+
+    The generator is SplitMix64 (Steele, Lea & Flood 2014). *)
+
+type t
+
+(** [create seed] is a fresh generator. *)
+val create : int64 -> t
+
+(** [of_int seed] is [create] on a widened int, for convenience. *)
+val of_int : int -> t
+
+(** [split t] derives an independent generator without disturbing the parent
+    stream more than one step. *)
+val split : t -> t
+
+(** [bits64 t] is the next raw 64-bit output. *)
+val bits64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound).  Raises [Invalid_argument] if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t ~p] is [true] with probability [p]. *)
+val bool : t -> p:float -> bool
+
+(** [geometric t ~mean] samples a geometric distribution with the given mean
+    (>= 0); used for burst lengths and inter-event gaps. *)
+val geometric : t -> mean:float -> int
+
+(** [choose t weights] picks index [i] with probability proportional to
+    [weights.(i)].  Raises [Invalid_argument] on an empty or all-zero
+    array. *)
+val choose : t -> float array -> int

@@ -1,0 +1,25 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch so the enclave
+    measurement and attestation flow carries no external dependency.
+
+    The security monitor measures enclave contents (code pages, entry point,
+    EVRANGE) into a 32-byte digest at creation time, as in Sanctum's secure
+    boot / attestation chain. *)
+
+type digest = string
+(** 32 raw bytes. *)
+
+(** [digest s] hashes a whole string. *)
+val digest : string -> digest
+
+(** Incremental interface. *)
+type ctx
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+val feed_bytes : ctx -> bytes -> unit
+
+(** [finalize ctx] pads, produces the digest, and invalidates [ctx]. *)
+val finalize : ctx -> digest
+
+(** [to_hex d] is the lowercase hex rendering. *)
+val to_hex : digest -> string

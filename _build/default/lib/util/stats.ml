@@ -1,0 +1,41 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t name r;
+    r
+
+let incr t name = incr (cell t name)
+let add t name k = cell t name := !(cell t name) + k
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+let set t name v = cell t name := v
+let reset t = Hashtbl.iter (fun _ r -> r := 0) t
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+
+let per_kilo t ~num ~den =
+  let d = get t den in
+  if d = 0 then 0.0 else 1000.0 *. float_of_int (get t num) /. float_of_int d
+
+let merge ~into src = Hashtbl.iter (fun k r -> add into k !r) src
+
+let copy t =
+  let c = create () in
+  Hashtbl.iter (fun k r -> set c k !r) t;
+  c
+
+let diff t ~baseline =
+  let d = create () in
+  Hashtbl.iter (fun k r -> set d k (!r - get baseline k)) t;
+  d
+
+let pp ppf t =
+  List.iter
+    (fun name -> Format.fprintf ppf "%-40s %d@." name (get t name))
+    (names t)

@@ -1,0 +1,44 @@
+(** Named counters and simple summary statistics for simulator runs.
+
+    Each simulated component owns a [t] and bumps counters by name; the
+    benchmark harness reads them back to compute the paper's metrics
+    (instructions, cycles, misses per kilo-instruction, stall fractions). *)
+
+type t
+
+val create : unit -> t
+
+(** [incr t name] adds one to counter [name], creating it at zero first. *)
+val incr : t -> string -> unit
+
+(** [add t name k] adds [k]. *)
+val add : t -> string -> int -> unit
+
+(** [get t name] is the current value, 0 if never touched. *)
+val get : t -> string -> int
+
+(** [set t name v] overwrites the counter. *)
+val set : t -> string -> int -> unit
+
+(** [reset t] zeroes every counter. *)
+val reset : t -> unit
+
+(** [names t] is the sorted list of counter names. *)
+val names : t -> string list
+
+(** [per_kilo t ~num ~den] is [1000 * num / den] as a float, 0 when the
+    denominator counter is zero — the paper's "per thousand instructions"
+    metric. *)
+val per_kilo : t -> num:string -> den:string -> float
+
+(** [merge ~into src] adds every counter of [src] into [into]. *)
+val merge : into:t -> t -> unit
+
+(** [copy t] is an independent snapshot. *)
+val copy : t -> t
+
+(** [diff t ~baseline] is a new table holding [t - baseline] per counter
+    (counters absent from [baseline] count from zero). *)
+val diff : t -> baseline:t -> t
+
+val pp : Format.formatter -> t -> unit

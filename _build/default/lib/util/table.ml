@@ -1,0 +1,50 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : (string * string list) list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t label cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: cell count does not match columns";
+  t.rows <- (label, cells) :: t.rows
+
+let cell_f v = Printf.sprintf "%.1f" v
+let cell_pct v = Printf.sprintf "%.1f%%" v
+
+let render t =
+  let rows = List.rev t.rows in
+  let headers = "" :: t.columns in
+  let all = headers :: List.map (fun (l, cs) -> l :: cs) rows in
+  let ncols = List.length headers in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  let pad_left s w = String.make (w - String.length s) ' ' ^ s in
+  let pad_right s w = s ^ String.make (w - String.length s) ' ' in
+  let render_row cells =
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        if i = 0 then Buffer.add_string buf (pad_right cell w)
+        else begin
+          Buffer.add_string buf "  ";
+          Buffer.add_string buf (pad_left cell w)
+        end)
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  render_row headers;
+  let total = List.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter (fun (l, cs) -> render_row (l :: cs)) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,27 @@
+(** ASCII table rendering for the benchmark harness.
+
+    The bench executable prints one table per paper figure; columns are
+    right-aligned numbers with a left-aligned label column, in the style of
+    the paper's per-benchmark bar charts flattened to text. *)
+
+type t
+
+(** [create ~title ~columns] starts a table.  The first column is the row
+    label. *)
+val create : title:string -> columns:string list -> t
+
+(** [add_row t label cells] appends a row; [cells] must match the number of
+    non-label columns. *)
+val add_row : t -> string -> string list -> unit
+
+(** [cell_f v] formats a float cell with one decimal. *)
+val cell_f : float -> string
+
+(** [cell_pct v] formats a percentage cell ("12.3%"). *)
+val cell_pct : float -> string
+
+(** [render t] is the formatted table. *)
+val render : t -> string
+
+(** [print t] renders to stdout. *)
+val print : t -> unit

@@ -1,0 +1,63 @@
+(** Synthetic models of the SPEC CINT2006 benchmarks used in the paper's
+    evaluation (all of CINT2006 except perlbench, Section 7).
+
+    Real SPEC binaries and ref inputs are not available in this
+    environment (see DESIGN.md); each benchmark is modeled by the
+    first-order properties that drive the five evaluated overheads:
+    branch-behaviour mix (predictability → FLUSH and baseline MPKI),
+    memory footprint and locality (→ PART and MISS), memory-level
+    parallelism and latency sensitivity (→ MISS and ARB), instruction-level
+    parallelism (→ NONSPEC), and trap rate (→ FLUSH stall; xalancbmk's
+    frequent output syscalls give it the paper's largest stall share).
+
+    Working sets are scaled to the simulated 1 MB LLC in the same
+    proportion the ref inputs stand to a real LLC; the shapes, not the
+    absolute sizes, carry the evaluation. *)
+
+type bench =
+  | Bzip2
+  | Gcc
+  | Mcf
+  | Gobmk
+  | Hmmer
+  | Sjeng
+  | Libquantum
+  | H264ref
+  | Omnetpp
+  | Astar
+  | Xalancbmk
+
+val all : bench list
+val name : bench -> string
+val of_name : string -> bench option
+
+type params = {
+  (* Control flow *)
+  branch_frac : float;  (** conditional branches per instruction *)
+  biased_frac : float;  (** branches that are strongly biased *)
+  patterned_frac : float;  (** short-period loop branches *)
+  call_frac : float;  (** call/return pairs per instruction *)
+  (* Memory *)
+  load_frac : float;
+  store_frac : float;
+  working_set_kb : int;
+  hot_set_kb : int;
+  stream_frac : float;  (** sequential-stride accesses *)
+  chase_frac : float;  (** dependent pointer-chase loads *)
+  hot_frac : float;  (** accesses landing in the (skewed) hot subset *)
+  stack_frac : float;  (** accesses landing in a 4 KB stack-like region *)
+  (* Code *)
+  code_kb : int;
+  (* ILP *)
+  dep_degree : float;  (** chance a µop depends on a recent producer *)
+  fp_frac : float;
+  longlat_frac : float;  (** multiply/divide-class ops *)
+  (* OS interaction (instruction counts) *)
+  syscall_every : int;
+  kernel_len : int;
+}
+
+val params : bench -> params
+
+(** Deterministic per-benchmark seed for workload generation. *)
+val seed : bench -> int

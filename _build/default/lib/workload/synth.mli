@@ -1,0 +1,34 @@
+(** Synthetic µop-stream generator realizing a {!Spec.params} benchmark
+    model.
+
+    The generator builds a static control-flow graph (functions made of
+    basic blocks with per-pc branch profiles: biased, loop-patterned, or
+    data-dependent random) and walks it, emitting µops whose addresses
+    follow the model's locality mix over a contiguous physical working set
+    (streaming cursor, hot subset, uniform cold accesses, and a dependent
+    pointer-chase permutation).  System calls and their kernel execution
+    appear as [Enter_kernel] / kernel µops / [Exit_kernel] at the model's
+    syscall rate.
+
+    Deterministic: the same seed yields the same stream. *)
+
+type t
+
+val create :
+  Spec.params ->
+  seed:int ->
+  data_base:int ->
+  code_base:int ->
+  kernel_base:int ->
+  t
+
+(** [next t] is the next µop of the (infinite) stream. *)
+val next : t -> Uop.t
+
+(** [stream t ~limit] emits exactly [limit] µops then [None]. *)
+val stream : t -> limit:int -> unit -> Uop.t option
+
+(** [for_bench b ~data_base ~code_base ~kernel_base] — generator for a
+    named SPEC model with its canonical seed. *)
+val for_bench :
+  Spec.bench -> data_base:int -> code_base:int -> kernel_base:int -> t

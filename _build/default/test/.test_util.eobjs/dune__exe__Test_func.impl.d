@@ -1,0 +1,1 @@
+test/test_func.ml: Addr Alcotest Array Asm Cpu_state Csr Fsim Int64 List Mi6_func Mi6_isa Mi6_mem Page_table Phys_mem Priv Reg

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Char Csr Encode Instr Int64 List Mi6_isa Printf Priv QCheck QCheck_alcotest Reg String

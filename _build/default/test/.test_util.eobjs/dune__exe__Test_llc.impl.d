@@ -1,0 +1,1 @@
+test/test_llc.ml: Alcotest Array Hashtbl Hierarchy Index L1 List Llc Mi6_cache Mi6_coherence Mi6_llc Mi6_mem Mi6_util Msi Printf QCheck QCheck_alcotest Rng Stats

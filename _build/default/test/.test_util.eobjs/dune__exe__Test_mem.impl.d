@@ -1,0 +1,1 @@
+test/test_mem.ml: Addr Alcotest Hashtbl Int64 List Mi6_mem Page_table Phys_mem Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_noninterference.ml: Alcotest Index List Llc Mi6_cache Mi6_core Mi6_llc Noninterference QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ooo.ml: Alcotest Array Btb Controller Core Core_config L1 Link List Llc Mi6_cache Mi6_coherence Mi6_dram Mi6_llc Mi6_ooo Mi6_util Printf Queue Ras Rng Stats Tournament Uop

@@ -1,0 +1,1 @@
+test/test_tlb.ml: Alcotest List Mi6_tlb Ptw QCheck QCheck_alcotest Queue Tlb Trans_cache

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitvec Char Fifo Hmac List Mi6_util QCheck QCheck_alcotest Rng Sha256 Stats String Table

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Mi6_ooo Mi6_workload Printf QCheck QCheck_alcotest Spec Synth Uop

@@ -1,0 +1,813 @@
+(* Tests for the functional simulator: ISA semantics, privilege, traps,
+   virtual memory, and the MI6 hardware checks (region validation, fetch
+   restriction, purge). *)
+
+open Mi6_isa
+open Mi6_mem
+open Mi6_func
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_i64 = Alcotest.(check int64)
+
+let dram = Addr.default_regions.Addr.dram_bytes
+
+let fresh () =
+  let mem = Phys_mem.create ~size_bytes:dram in
+  Fsim.create ~mem ~hartid:0 ()
+
+(* Assemble at [base], load, set pc, and run until pc hits [stop] label. *)
+let run_program ?(steps = 10_000) t prog stop =
+  Fsim.load_program t prog;
+  Cpu_state.set_pc (Fsim.state t) (Int64.of_int prog.Asm.base);
+  let stop_pc = Int64.of_int (Asm.lookup prog stop) in
+  let n =
+    Fsim.run t ~max_steps:steps ~until:(fun t ->
+        Cpu_state.pc (Fsim.state t) = stop_pc)
+  in
+  check_bool "program reached stop label" true (n < steps)
+
+let reg t r = Cpu_state.get_reg (Fsim.state t) r
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic programs                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_sum_loop () =
+  let t = fresh () in
+  let prog =
+    Asm.assemble ~base:0x1000
+      Asm.
+        [
+          Li (Reg.a0, 0);
+          Li (Reg.t0, 1);
+          Li (Reg.t1, 11);
+          Label "loop";
+          I (Alu { op = Add; rd = Reg.a0; rs1 = Reg.a0; rs2 = Reg.t0 });
+          I (Alu_imm { op = Add; rd = Reg.t0; rs1 = Reg.t0; imm = 1 });
+          Br_to (Bne, Reg.t0, Reg.t1, "loop");
+          Label "done";
+          I Wfi;
+        ]
+  in
+  run_program t prog "done";
+  check_i64 "sum 1..10" 55L (reg t Reg.a0)
+
+let test_alu_ops () =
+  let t = fresh () in
+  let prog =
+    Asm.assemble ~base:0x1000
+      Asm.
+        [
+          Li (Reg.t0, 100);
+          Li (Reg.t1, 7);
+          I (Alu { op = Sub; rd = Reg.a0; rs1 = Reg.t0; rs2 = Reg.t1 });
+          I (Alu { op = Xor; rd = Reg.a1; rs1 = Reg.t0; rs2 = Reg.t1 });
+          I (Alu { op = And; rd = Reg.a2; rs1 = Reg.t0; rs2 = Reg.t1 });
+          I (Alu { op = Or; rd = Reg.a3; rs1 = Reg.t0; rs2 = Reg.t1 });
+          I (Alu { op = Slt; rd = Reg.a4; rs1 = Reg.t1; rs2 = Reg.t0 });
+          I (Alu_imm { op = Sll; rd = Reg.a5; rs1 = Reg.t1; imm = 4 });
+          I (Alu_imm { op = Sra; rd = Reg.a6; rs1 = Reg.t0; imm = 2 });
+          Label "done";
+          I Wfi;
+        ]
+  in
+  run_program t prog "done";
+  check_i64 "sub" 93L (reg t Reg.a0);
+  check_i64 "xor" (Int64.of_int (100 lxor 7)) (reg t Reg.a1);
+  check_i64 "and" (Int64.of_int (100 land 7)) (reg t Reg.a2);
+  check_i64 "or" (Int64.of_int (100 lor 7)) (reg t Reg.a3);
+  check_i64 "slt" 1L (reg t Reg.a4);
+  check_i64 "slli" 112L (reg t Reg.a5);
+  check_i64 "srai" 25L (reg t Reg.a6)
+
+let test_word_ops_sign_extend () =
+  let t = fresh () in
+  let prog =
+    Asm.assemble ~base:0x1000
+      Asm.
+        [
+          (* 0x7FFFFFFF + 1 wraps to -0x80000000 under addw. *)
+          Li (Reg.t0, 0x7FFFFFFF);
+          I (Alu_imm_w { op = Addw; rd = Reg.a0; rs1 = Reg.t0; imm = 1 });
+          (* sllw by 31 of 1 gives INT32_MIN, sign-extended. *)
+          Li (Reg.t1, 1);
+          I (Alu_imm_w { op = Sllw; rd = Reg.a1; rs1 = Reg.t1; imm = 31 });
+          Label "done";
+          I Wfi;
+        ]
+  in
+  run_program t prog "done";
+  check_i64 "addw wraps and sign-extends" (-0x80000000L) (reg t Reg.a0);
+  check_i64 "sllw sign-extends" (-0x80000000L) (reg t Reg.a1)
+
+let test_muldiv_edge_cases () =
+  let t = fresh () in
+  let prog =
+    Asm.assemble ~base:0x1000
+      Asm.
+        [
+          Li (Reg.t0, 7);
+          Li (Reg.t1, 0);
+          (* Division by zero: quotient all-ones, remainder = dividend. *)
+          I (Muldiv { op = Div; rd = Reg.a0; rs1 = Reg.t0; rs2 = Reg.t1 });
+          I (Muldiv { op = Rem; rd = Reg.a1; rs1 = Reg.t0; rs2 = Reg.t1 });
+          (* Signed overflow: INT64_MIN / -1. *)
+          Li (Reg.t2, 1);
+          I (Alu_imm { op = Sll; rd = Reg.t2; rs1 = Reg.t2; imm = 63 });
+          Li (Reg.t3, -1);
+          I (Muldiv { op = Div; rd = Reg.a2; rs1 = Reg.t2; rs2 = Reg.t3 });
+          I (Muldiv { op = Rem; rd = Reg.a3; rs1 = Reg.t2; rs2 = Reg.t3 });
+          (* mulh of two large values. *)
+          Li (Reg.t4, -1);
+          I (Muldiv { op = Mulhu; rd = Reg.a4; rs1 = Reg.t4; rs2 = Reg.t4 });
+          I (Muldiv { op = Mulh; rd = Reg.a5; rs1 = Reg.t4; rs2 = Reg.t4 });
+          Label "done";
+          I Wfi;
+        ]
+  in
+  run_program t prog "done";
+  check_i64 "div by zero" (-1L) (reg t Reg.a0);
+  check_i64 "rem by zero" 7L (reg t Reg.a1);
+  check_i64 "min/-1 div" Int64.min_int (reg t Reg.a2);
+  check_i64 "min/-1 rem" 0L (reg t Reg.a3);
+  (* 0xFFFF..F * 0xFFFF..F unsigned high word = 0xFFFF..E *)
+  check_i64 "mulhu all-ones" (-2L) (reg t Reg.a4);
+  (* (-1) * (-1) = 1: signed high word 0. *)
+  check_i64 "mulh all-ones" 0L (reg t Reg.a5)
+
+let test_load_store_widths () =
+  let t = fresh () in
+  let prog =
+    Asm.assemble ~base:0x1000
+      Asm.
+        [
+          Li (Reg.s0, 0x2000);
+          Li (Reg.t0, -2);
+          I (Store { kind = Sb; rs1 = Reg.s0; rs2 = Reg.t0; offset = 0 });
+          I (Load { kind = Lb; rd = Reg.a0; rs1 = Reg.s0; offset = 0 });
+          I (Load { kind = Lbu; rd = Reg.a1; rs1 = Reg.s0; offset = 0 });
+          Li (Reg.t1, 0x12345678);
+          I (Store { kind = Sw; rs1 = Reg.s0; rs2 = Reg.t1; offset = 8 });
+          I (Load { kind = Lw; rd = Reg.a2; rs1 = Reg.s0; offset = 8 });
+          I (Load { kind = Lhu; rd = Reg.a3; rs1 = Reg.s0; offset = 8 });
+          Label "done";
+          I Wfi;
+        ]
+  in
+  run_program t prog "done";
+  check_i64 "lb sign-extends" (-2L) (reg t Reg.a0);
+  check_i64 "lbu zero-extends" 0xFEL (reg t Reg.a1);
+  check_i64 "lw" 0x12345678L (reg t Reg.a2);
+  check_i64 "lhu low half" 0x5678L (reg t Reg.a3)
+
+let test_jal_jalr_link () =
+  let t = fresh () in
+  let prog =
+    Asm.assemble ~base:0x1000
+      Asm.
+        [
+          Li (Reg.a0, 0);
+          Call "f";
+          I (Alu_imm { op = Add; rd = Reg.a0; rs1 = Reg.a0; imm = 100 });
+          J "done";
+          Label "f";
+          I (Alu_imm { op = Add; rd = Reg.a0; rs1 = Reg.a0; imm = 1 });
+          Ret;
+          Label "done";
+          I Wfi;
+        ]
+  in
+  run_program t prog "done";
+  check_i64 "call then fallthrough" 101L (reg t Reg.a0)
+
+(* ------------------------------------------------------------------ *)
+(* Atomics (RV64A)                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_amo_operations () =
+  let t = fresh () in
+  let prog =
+    Asm.assemble ~base:0x1000
+      Asm.
+        [
+          Li (Reg.s0, 0x2000);
+          Li (Reg.t0, 10);
+          I (Store { kind = Sd; rs1 = Reg.s0; rs2 = Reg.t0; offset = 0 });
+          Li (Reg.t1, 5);
+          (* a0 = old (10), mem = 15 *)
+          I (Amo { op = Amoadd; width = D; rd = Reg.a0; rs1 = Reg.s0; rs2 = Reg.t1 });
+          (* a1 = old (15), mem = 5 *)
+          I (Amo { op = Amoswap; width = D; rd = Reg.a1; rs1 = Reg.s0; rs2 = Reg.t1 });
+          Li (Reg.t2, -3);
+          (* a2 = old (5), mem = min(5,-3) = -3 *)
+          I (Amo { op = Amomin; width = D; rd = Reg.a2; rs1 = Reg.s0; rs2 = Reg.t2 });
+          (* a3 = old (-3), mem = maxu(-3,5) = -3 (unsigned max) *)
+          I (Amo { op = Amomaxu; width = D; rd = Reg.a3; rs1 = Reg.s0; rs2 = Reg.t1 });
+          I (Load { kind = Ld; rd = Reg.a4; rs1 = Reg.s0; offset = 0 });
+          Label "done";
+          I Wfi;
+        ]
+  in
+  run_program t prog "done";
+  check_i64 "amoadd old" 10L (reg t Reg.a0);
+  check_i64 "amoswap old" 15L (reg t Reg.a1);
+  check_i64 "amomin old" 5L (reg t Reg.a2);
+  check_i64 "amomaxu old" (-3L) (reg t Reg.a3);
+  check_i64 "final value" (-3L) (reg t Reg.a4)
+
+let test_lr_sc_success_and_failure () =
+  let t = fresh () in
+  let prog =
+    Asm.assemble ~base:0x1000
+      Asm.
+        [
+          Li (Reg.s0, 0x2000);
+          Li (Reg.t0, 7);
+          I (Store { kind = Sd; rs1 = Reg.s0; rs2 = Reg.t0; offset = 0 });
+          (* LR then SC with no intervening store: succeeds (a0 = 0). *)
+          I (Lr { width = D; rd = Reg.a1; rs1 = Reg.s0 });
+          Li (Reg.t1, 99);
+          I (Sc { width = D; rd = Reg.a0; rs1 = Reg.s0; rs2 = Reg.t1 });
+          (* SC without a reservation: fails (a2 = 1), memory unchanged. *)
+          Li (Reg.t2, 123);
+          I (Sc { width = D; rd = Reg.a2; rs1 = Reg.s0; rs2 = Reg.t2 });
+          I (Load { kind = Ld; rd = Reg.a3; rs1 = Reg.s0; offset = 0 });
+          (* LR, then an intervening store breaks the reservation. *)
+          I (Lr { width = D; rd = Reg.a4; rs1 = Reg.s0 });
+          I (Store { kind = Sd; rs1 = Reg.s0; rs2 = Reg.t0; offset = 8 });
+          I (Sc { width = D; rd = Reg.a5; rs1 = Reg.s0; rs2 = Reg.t2 });
+          Label "done";
+          I Wfi;
+        ]
+  in
+  run_program t prog "done";
+  check_i64 "lr reads" 7L (reg t Reg.a1);
+  check_i64 "sc succeeds" 0L (reg t Reg.a0);
+  check_i64 "sc without reservation fails" 1L (reg t Reg.a2);
+  check_i64 "failed sc left memory alone" 99L (reg t Reg.a3);
+  check_i64 "sc after intervening store fails" 1L (reg t Reg.a5)
+
+let test_amo_word_sign_extension () =
+  let t = fresh () in
+  let prog =
+    Asm.assemble ~base:0x1000
+      Asm.
+        [
+          Li (Reg.s0, 0x2000);
+          Li (Reg.t0, 0x7FFFFFFF);
+          I (Store { kind = Sw; rs1 = Reg.s0; rs2 = Reg.t0; offset = 0 });
+          Li (Reg.t1, 1);
+          (* 32-bit wrap: old 0x7FFFFFFF, new 0x80000000 (negative as W) *)
+          I (Amo { op = Amoadd; width = W; rd = Reg.a0; rs1 = Reg.s0; rs2 = Reg.t1 });
+          I (Load { kind = Lw; rd = Reg.a1; rs1 = Reg.s0; offset = 0 });
+          Label "done";
+          I Wfi;
+        ]
+  in
+  run_program t prog "done";
+  check_i64 "amoadd.w old" 0x7FFFFFFFL (reg t Reg.a0);
+  check_i64 "amoadd.w wraps and sign-extends" (-0x80000000L) (reg t Reg.a1)
+
+(* ------------------------------------------------------------------ *)
+(* Traps, privilege, CSRs                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Drop to U-mode at [upc] (bare translation) with an M-mode trap handler
+   at [handler]. *)
+let enter_user t ~upc ~handler =
+  let s = Fsim.state t in
+  Cpu_state.set_csr_raw s Csr.mtvec (Int64.of_int handler);
+  (* Allow all regions so U-mode can run anywhere for these tests. *)
+  Cpu_state.set_csr_raw s Csr.mregions (-1L);
+  (* mstatus.MPP = U then mret. *)
+  Cpu_state.set_csr_raw s Csr.mepc (Int64.of_int upc);
+  Cpu_state.set_mode s Priv.Machine;
+  let mret = Asm.assemble ~base:0x100 Asm.[ I Mret ] in
+  Fsim.load_program t mret;
+  Cpu_state.set_pc s 0x100L;
+  ignore (Fsim.step t);
+  check_bool "now in user mode" true (Cpu_state.mode s = Priv.User)
+
+let test_ecall_from_u_traps_to_m () =
+  let t = fresh () in
+  let user = Asm.assemble ~base:0x4000 Asm.[ I Ecall ] in
+  Fsim.load_program t user;
+  let handler = Asm.assemble ~base:0x8000 Asm.[ I Wfi ] in
+  Fsim.load_program t handler;
+  enter_user t ~upc:0x4000 ~handler:0x8000;
+  let r = Fsim.step t in
+  (match r.Fsim.trap with
+  | Some { cause = Priv.Exception Priv.Ecall_from_u; target = Priv.Machine; _ }
+    -> ()
+  | _ -> Alcotest.fail "expected ecall-from-U to machine mode");
+  let s = Fsim.state t in
+  check_bool "mode is machine" true (Cpu_state.mode s = Priv.Machine);
+  check_i64 "mepc is ecall pc" 0x4000L (Cpu_state.csr_raw s Csr.mepc);
+  check_i64 "pc at handler" 0x8000L (Cpu_state.pc s);
+  check_i64 "mcause" (Priv.cause_code (Priv.Exception Priv.Ecall_from_u))
+    (Cpu_state.csr_raw s Csr.mcause)
+
+let test_ecall_delegation_to_s () =
+  let t = fresh () in
+  let s = Fsim.state t in
+  (* Delegate ecall-from-U (code 8) to supervisor mode. *)
+  Cpu_state.set_csr_raw s Csr.medeleg (Int64.shift_left 1L 8);
+  Cpu_state.set_csr_raw s Csr.stvec 0x9000L;
+  let user = Asm.assemble ~base:0x4000 Asm.[ I Ecall ] in
+  Fsim.load_program t user;
+  enter_user t ~upc:0x4000 ~handler:0x8000;
+  let r = Fsim.step t in
+  (match r.Fsim.trap with
+  | Some { target = Priv.Supervisor; _ } -> ()
+  | _ -> Alcotest.fail "expected delegation to S");
+  check_bool "mode is supervisor" true (Cpu_state.mode s = Priv.Supervisor);
+  check_i64 "sepc" 0x4000L (Cpu_state.csr_raw s Csr.sepc);
+  check_i64 "pc at stvec" 0x9000L (Cpu_state.pc s)
+
+let test_csr_privilege_enforced () =
+  let t = fresh () in
+  (* U-mode reading mstatus must raise illegal instruction. *)
+  let user =
+    Asm.assemble ~base:0x4000
+      Asm.[ I (Csr { op = Csrrs; rd = Reg.a0; src = Rs Reg.x0; csr = Csr.mstatus }) ]
+  in
+  Fsim.load_program t user;
+  Fsim.load_program t (Asm.assemble ~base:0x8000 Asm.[ I Wfi ]);
+  enter_user t ~upc:0x4000 ~handler:0x8000;
+  let r = Fsim.step t in
+  match r.Fsim.trap with
+  | Some { cause = Priv.Exception Priv.Illegal_instruction; _ } -> ()
+  | _ -> Alcotest.fail "expected illegal instruction"
+
+let test_csr_read_only () =
+  let t = fresh () in
+  let s = Fsim.state t in
+  (* Writing mhartid (0xF14, read-only block) is illegal even in M. *)
+  check_bool "write mhartid rejected" true
+    (Cpu_state.write_csr s Csr.mhartid 1L = Error Cpu_state.Illegal_csr);
+  check_bool "read mhartid fine" true (Cpu_state.read_csr s Csr.mhartid = Ok 0L)
+
+let test_csrrw_roundtrip () =
+  let t = fresh () in
+  let prog =
+    Asm.assemble ~base:0x1000
+      Asm.
+        [
+          Li (Reg.t0, 0xABCD);
+          I (Csr { op = Csrrw; rd = Reg.a0; src = Rs Reg.t0; csr = Csr.mscratch });
+          I (Csr { op = Csrrs; rd = Reg.a1; src = Rs Reg.x0; csr = Csr.mscratch });
+          (* csrrc clears the low bit. *)
+          Li (Reg.t1, 1);
+          I (Csr { op = Csrrc; rd = Reg.a2; src = Rs Reg.t1; csr = Csr.mscratch });
+          I (Csr { op = Csrrs; rd = Reg.a3; src = Rs Reg.x0; csr = Csr.mscratch });
+          Label "done";
+          I Wfi;
+        ]
+  in
+  run_program t prog "done";
+  check_i64 "initial mscratch zero" 0L (reg t Reg.a0);
+  check_i64 "readback" 0xABCDL (reg t Reg.a1);
+  check_i64 "csrrc old" 0xABCDL (reg t Reg.a2);
+  check_i64 "cleared bit" 0xABCCL (reg t Reg.a3)
+
+let test_timer_interrupt () =
+  let t = fresh () in
+  let s = Fsim.state t in
+  Cpu_state.set_csr_raw s Csr.mtvec 0x8000L;
+  Cpu_state.set_csr_raw s Csr.mie (Int64.shift_left 1L 7);
+  Fsim.load_program t (Asm.assemble ~base:0x1000 Asm.[ Nop; Nop ]);
+  Fsim.load_program t (Asm.assemble ~base:0x8000 Asm.[ I Wfi ]);
+  Cpu_state.set_pc s 0x1000L;
+  Cpu_state.set_mie s true;
+  ignore (Fsim.step t);
+  Fsim.raise_timer_interrupt t;
+  let r = Fsim.step t in
+  (match r.Fsim.trap with
+  | Some { cause = Priv.Interrupt Priv.Timer_interrupt; _ } -> ()
+  | _ -> Alcotest.fail "expected timer interrupt");
+  check_bool "no instruction executed on interrupt step" true
+    (r.Fsim.executed = None);
+  check_i64 "pc at mtvec" 0x8000L (Cpu_state.pc s);
+  (* MIE pushed to MPIE and cleared. *)
+  check_bool "MIE cleared" false (Cpu_state.mie s);
+  (* Interrupt is not retaken while masked. *)
+  let r2 = Fsim.step t in
+  check_bool "masked in handler" true (r2.Fsim.trap = None)
+
+let test_mret_restores () =
+  let t = fresh () in
+  let s = Fsim.state t in
+  enter_user t ~upc:0x4000 ~handler:0x8000;
+  check_bool "MPP reset to U after mret" true
+    (Cpu_state.mode s = Priv.User)
+
+(* ------------------------------------------------------------------ *)
+(* Virtual memory                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Set up: user code page mapped at VA 0x4000 -> PA 0x10000, data page at
+   VA 0x5000 -> PA 0x11000, page tables at 0x100000+. *)
+let setup_vm t =
+  let mem = Fsim.mem t in
+  let root = 0x100000 in
+  let alloc =
+    let next = ref 0x101000 in
+    fun () ->
+      let p = !next in
+      next := p + 4096;
+      p
+  in
+  Page_table.map_page mem ~alloc ~root ~vaddr:0x4000L ~paddr:0x10000
+    ~perm:(Page_table.perm_user Page_table.perm_rx);
+  Page_table.map_page mem ~alloc ~root ~vaddr:0x5000L ~paddr:0x11000
+    ~perm:(Page_table.perm_user Page_table.perm_rw);
+  let s = Fsim.state t in
+  Cpu_state.set_csr_raw s Csr.satp
+    (Int64.logor (Int64.shift_left 8L 60) (Int64.of_int (root / 4096)));
+  root
+
+let test_vm_translated_execution () =
+  let t = fresh () in
+  ignore (setup_vm t);
+  let prog =
+    Asm.assemble ~base:0x4000
+      Asm.
+        [
+          Li (Reg.s0, 0x5000);
+          Li (Reg.t0, 42);
+          I (Store { kind = Sd; rs1 = Reg.s0; rs2 = Reg.t0; offset = 0 });
+          I (Load { kind = Ld; rd = Reg.a0; rs1 = Reg.s0; offset = 8 });
+          Label "spin";
+          J "spin";
+        ]
+  in
+  (* Code is loaded at its physical location. *)
+  let phys = Asm.assemble ~base:0x10000 [] in
+  ignore phys;
+  let mem = Fsim.mem t in
+  Array.iteri
+    (fun i w -> Mi6_mem.Phys_mem.write_u32 mem (0x10000 + (4 * i)) w)
+    prog.Asm.words;
+  (* Pre-place data at PA 0x11008. *)
+  Phys_mem.write_u64 mem 0x11008 77L;
+  enter_user t ~upc:0x4000 ~handler:0x8000;
+  let spin = Int64.of_int (Asm.lookup prog "spin") in
+  let n =
+    Fsim.run t ~max_steps:100 ~until:(fun t ->
+        Cpu_state.pc (Fsim.state t) = spin)
+  in
+  check_bool "reached spin" true (n < 100);
+  check_i64 "load through VM" 77L (reg t Reg.a0);
+  check_i64 "store through VM hit PA 0x11000" 42L (Phys_mem.read_u64 mem 0x11000)
+
+let test_vm_page_fault_unmapped () =
+  let t = fresh () in
+  ignore (setup_vm t);
+  let prog =
+    Asm.assemble ~base:0x4000
+      Asm.
+        [
+          Li (Reg.s0, 0x7000);
+          I (Load { kind = Ld; rd = Reg.a0; rs1 = Reg.s0; offset = 0 });
+        ]
+  in
+  let mem = Fsim.mem t in
+  Array.iteri
+    (fun i w -> Phys_mem.write_u32 mem (0x10000 + (4 * i)) w)
+    prog.Asm.words;
+  Fsim.load_program t (Asm.assemble ~base:0x8000 Asm.[ I Wfi ]);
+  enter_user t ~upc:0x4000 ~handler:0x8000;
+  ignore (Fsim.step t);
+  ignore (Fsim.step t);
+  let r = Fsim.step t in
+  match r.Fsim.trap with
+  | Some { cause = Priv.Exception Priv.Load_page_fault; tval; _ } ->
+    check_i64 "tval is faulting VA" 0x7000L tval
+  | _ -> Alcotest.fail "expected load page fault"
+
+let test_vm_write_to_rx_page_faults () =
+  let t = fresh () in
+  ignore (setup_vm t);
+  let prog =
+    Asm.assemble ~base:0x4000
+      Asm.
+        [
+          Li (Reg.s0, 0x4000);
+          I (Store { kind = Sd; rs1 = Reg.s0; rs2 = Reg.x0; offset = 0 });
+        ]
+  in
+  let mem = Fsim.mem t in
+  Array.iteri
+    (fun i w -> Phys_mem.write_u32 mem (0x10000 + (4 * i)) w)
+    prog.Asm.words;
+  Fsim.load_program t (Asm.assemble ~base:0x8000 Asm.[ I Wfi ]);
+  enter_user t ~upc:0x4000 ~handler:0x8000;
+  ignore (Fsim.step t);
+  ignore (Fsim.step t);
+  let r = Fsim.step t in
+  match r.Fsim.trap with
+  | Some { cause = Priv.Exception Priv.Store_page_fault; _ } -> ()
+  | _ -> Alcotest.fail "expected store page fault"
+
+let test_walk_accesses_recorded () =
+  let t = fresh () in
+  ignore (setup_vm t);
+  let prog = Asm.assemble ~base:0x4000 Asm.[ Nop ] in
+  let mem = Fsim.mem t in
+  Array.iteri
+    (fun i w -> Phys_mem.write_u32 mem (0x10000 + (4 * i)) w)
+    prog.Asm.words;
+  enter_user t ~upc:0x4000 ~handler:0x8000;
+  let r = Fsim.step t in
+  let walks =
+    List.filter (fun a -> a.Fsim.kind = Fsim.Walk) r.Fsim.accesses
+  in
+  let fetches =
+    List.filter (fun a -> a.Fsim.kind = Fsim.Fetch) r.Fsim.accesses
+  in
+  check_int "three walk steps for a cold fetch" 3 (List.length walks);
+  check_int "one fetch" 1 (List.length fetches);
+  check_int "fetch paddr translated" 0x10000
+    (List.hd fetches).Fsim.paddr
+
+(* ------------------------------------------------------------------ *)
+(* MI6: region validation, fetch restriction, purge                     *)
+(* ------------------------------------------------------------------ *)
+
+let region_bytes = Addr.default_regions.Addr.region_bytes
+
+let test_region_fault_on_load () =
+  let t = fresh () in
+  let s = Fsim.state t in
+  (* Allow only region 0. *)
+  let user =
+    Asm.assemble ~base:0x4000
+      Asm.
+        [
+          Li (Reg.s0, region_bytes);
+          (* first address of region 1 *)
+          I (Load { kind = Ld; rd = Reg.a0; rs1 = Reg.s0; offset = 0 });
+        ]
+  in
+  Fsim.load_program t user;
+  Fsim.load_program t (Asm.assemble ~base:0x8000 Asm.[ I Wfi ]);
+  enter_user t ~upc:0x4000 ~handler:0x8000;
+  Cpu_state.set_csr_raw s Csr.mregions 1L;
+  ignore (Fsim.step t);
+  ignore (Fsim.step t);
+  let r = Fsim.step t in
+  (match r.Fsim.trap with
+  | Some { cause = Priv.Exception Priv.Region_fault; tval; _ } ->
+    check_i64 "tval is offending paddr" (Int64.of_int region_bytes) tval
+  | _ -> Alcotest.fail "expected region fault");
+  (* The forbidden access must not have been emitted to the memory
+     system. *)
+  check_bool "no load access emitted" true
+    (List.for_all (fun a -> a.Fsim.kind <> Fsim.Load) r.Fsim.accesses)
+
+let test_region_fault_on_walk () =
+  let t = fresh () in
+  let root = setup_vm t in
+  ignore root;
+  let s = Fsim.state t in
+  let mem = Fsim.mem t in
+  let prog = Asm.assemble ~base:0x4000 Asm.[ Nop ] in
+  Array.iteri
+    (fun i w -> Phys_mem.write_u32 mem (0x10000 + (4 * i)) w)
+    prog.Asm.words;
+  enter_user t ~upc:0x4000 ~handler:0x8000;
+  (* Page tables live at 0x100000 (region 0): forbid region 0, allow only
+     region 1.  The very first walk step then violates. *)
+  Cpu_state.set_csr_raw s Csr.mregions 2L;
+  let r = Fsim.step t in
+  (match r.Fsim.trap with
+  | Some { cause = Priv.Exception Priv.Region_fault; _ } -> ()
+  | _ -> Alcotest.fail "expected region fault on page walk");
+  check_int "no accesses emitted at all" 0 (List.length r.Fsim.accesses)
+
+let test_region_fault_on_fetch () =
+  let t = fresh () in
+  let s = Fsim.state t in
+  Fsim.load_program t (Asm.assemble ~base:0x8000 Asm.[ I Wfi ]);
+  (* User code sits in region 1; only region 0 allowed. *)
+  let upc = region_bytes + 0x1000 in
+  let user = Asm.assemble ~base:upc Asm.[ Nop ] in
+  Fsim.load_program t user;
+  enter_user t ~upc ~handler:0x8000;
+  Cpu_state.set_csr_raw s Csr.mregions 1L;
+  let r = Fsim.step t in
+  match r.Fsim.trap with
+  | Some { cause = Priv.Exception Priv.Region_fault; _ } ->
+    check_bool "fetch suppressed" true (r.Fsim.accesses = [])
+  | _ -> Alcotest.fail "expected region fault on fetch"
+
+let test_machine_mode_bypasses_regions () =
+  let t = fresh () in
+  let s = Fsim.state t in
+  Cpu_state.set_csr_raw s Csr.mregions 0L;
+  (* Even with an empty region mask, M-mode runs fine. *)
+  let prog =
+    Asm.assemble ~base:0x1000
+      Asm.[ Li (Reg.a0, 7); Label "done"; I Wfi ]
+  in
+  run_program t prog "done";
+  check_i64 "machine mode unaffected" 7L (reg t Reg.a0)
+
+let test_mfetch_restriction () =
+  let t = fresh () in
+  let s = Fsim.state t in
+  (* Restrict machine-mode fetch to the 4 KB page at 0x1000. *)
+  Cpu_state.set_csr_raw s Csr.mfetchmask (Int64.lognot 0xFFFL);
+  Cpu_state.set_csr_raw s Csr.mfetchbase 0x1000L;
+  Cpu_state.set_csr_raw s Csr.mtvec 0x1800L;
+  let inside =
+    Asm.assemble ~base:0x1000 Asm.[ Li (Reg.a0, 1); J "far" ; Label "far"]
+  in
+  ignore inside;
+  (* Jump from inside the window to outside: the outside fetch faults. *)
+  let prog =
+    Asm.assemble ~base:0x1000
+      Asm.[ Li (Reg.a0, 1); I (Jalr { rd = 0; rs1 = Reg.t0; offset = 0 }) ]
+  in
+  Fsim.load_program t prog;
+  Fsim.load_program t (Asm.assemble ~base:0x4000 Asm.[ Nop ]);
+  Cpu_state.set_pc s 0x1000L;
+  Cpu_state.set_reg s Reg.t0 0x4000L;
+  ignore (Fsim.step t);
+  ignore (Fsim.step t);
+  ignore (Fsim.step t);
+  (* Now pc = 0x4000, outside the window. *)
+  let r = Fsim.step t in
+  match r.Fsim.trap with
+  | Some { cause = Priv.Exception Priv.Instr_access_fault; _ } ->
+    check_bool "fetch suppressed" true (r.Fsim.accesses = [])
+  | _ -> Alcotest.fail "expected instruction access fault outside window"
+
+let test_purge_machine_mode_only () =
+  let t = fresh () in
+  let purges = ref 0 in
+  Fsim.set_on_purge t (fun () -> incr purges);
+  let prog = Asm.assemble ~base:0x1000 Asm.[ I Purge; Label "done"; I Wfi ] in
+  run_program t prog "done";
+  check_int "purge hook fired" 1 !purges;
+  (* From user mode: illegal instruction. *)
+  let t2 = fresh () in
+  let user = Asm.assemble ~base:0x4000 Asm.[ I Purge ] in
+  Fsim.load_program t2 user;
+  Fsim.load_program t2 (Asm.assemble ~base:0x8000 Asm.[ I Wfi ]);
+  enter_user t2 ~upc:0x4000 ~handler:0x8000;
+  let r = Fsim.step t2 in
+  match r.Fsim.trap with
+  | Some { cause = Priv.Exception Priv.Illegal_instruction; _ } -> ()
+  | _ -> Alcotest.fail "expected illegal instruction for purge in U-mode"
+
+let test_purged_flag_in_step_result () =
+  let t = fresh () in
+  let prog = Asm.assemble ~base:0x1000 Asm.[ I Purge ] in
+  Fsim.load_program t prog;
+  Cpu_state.set_pc (Fsim.state t) 0x1000L;
+  let r = Fsim.step t in
+  check_bool "step reports purge" true r.Fsim.purged
+
+let test_tvm_traps_satp_access () =
+  let t = fresh () in
+  let s = Fsim.state t in
+  (* Set mstatus.TVM. *)
+  Cpu_state.set_csr_raw s Csr.mstatus (Int64.shift_left 1L 20);
+  Cpu_state.set_csr_raw s Csr.mtvec 0x8000L;
+  Cpu_state.set_csr_raw s Csr.mregions (-1L);
+  Fsim.load_program t (Asm.assemble ~base:0x8000 Asm.[ I Wfi ]);
+  (* Enter S-mode at 0x4000 where it writes satp. *)
+  let sprog =
+    Asm.assemble ~base:0x4000
+      Asm.[ I (Csr { op = Csrrw; rd = 0; src = Rs Reg.x0; csr = Csr.satp }) ]
+  in
+  Fsim.load_program t sprog;
+  Cpu_state.set_csr_raw s Csr.mepc 0x4000L;
+  (* MPP = S *)
+  Cpu_state.set_csr_raw s Csr.mstatus
+    (Int64.logor (Cpu_state.csr_raw s Csr.mstatus) (Int64.shift_left 1L 11));
+  Fsim.load_program t (Asm.assemble ~base:0x100 Asm.[ I Mret ]);
+  Cpu_state.set_pc s 0x100L;
+  ignore (Fsim.step t);
+  check_bool "in S mode" true (Cpu_state.mode s = Priv.Supervisor);
+  let r = Fsim.step t in
+  match r.Fsim.trap with
+  | Some { cause = Priv.Exception Priv.Illegal_instruction; _ } -> ()
+  | _ -> Alcotest.fail "expected TVM trap on satp access from S"
+
+(* ------------------------------------------------------------------ *)
+(* Firmware (security monitor model)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_firmware_handles_ecall () =
+  let t = fresh () in
+  let calls = ref [] in
+  Fsim.set_firmware t (fun t ~cause ~tval:_ ~epc ->
+      match cause with
+      | Priv.Exception Priv.Ecall_from_u ->
+        let s = Fsim.state t in
+        calls := Cpu_state.get_reg s Reg.a7 :: !calls;
+        (* SM call: return a value in a0, resume after the ecall. *)
+        Cpu_state.set_reg s Reg.a0 999L;
+        Cpu_state.set_pc s (Int64.add epc 4L);
+        true
+      | _ -> false);
+  let user =
+    Asm.assemble ~base:0x4000
+      Asm.[ Li (Reg.a7, 5); I Ecall; Label "after"; J "after" ]
+  in
+  Fsim.load_program t user;
+  Fsim.load_program t (Asm.assemble ~base:0x8000 Asm.[ I Wfi ]);
+  enter_user t ~upc:0x4000 ~handler:0x8000;
+  ignore (Fsim.step t);
+  ignore (Fsim.step t);
+  let r = Fsim.step t in
+  (match r.Fsim.trap with
+  | Some { cause = Priv.Exception Priv.Ecall_from_u; _ } -> ()
+  | _ -> Alcotest.fail "trap still reported");
+  let s = Fsim.state t in
+  check_bool "stayed in user mode" true (Cpu_state.mode s = Priv.User);
+  check_i64 "firmware return value" 999L (Cpu_state.get_reg s Reg.a0);
+  check_i64 "resumed after ecall" (Int64.of_int (Asm.lookup user "after"))
+    (Cpu_state.pc s);
+  Alcotest.(check (list int64)) "firmware saw the call" [ 5L ] !calls
+
+let test_firmware_can_decline () =
+  let t = fresh () in
+  Fsim.set_firmware t (fun _ ~cause:_ ~tval:_ ~epc:_ -> false);
+  let s = Fsim.state t in
+  Cpu_state.set_csr_raw s Csr.mtvec 0x8000L;
+  Fsim.load_program t (Asm.assemble ~base:0x8000 Asm.[ I Wfi ]);
+  let user = Asm.assemble ~base:0x4000 Asm.[ I Ecall ] in
+  Fsim.load_program t user;
+  enter_user t ~upc:0x4000 ~handler:0x8000;
+  ignore (Fsim.step t);
+  check_bool "declined trap enters M" true (Cpu_state.mode s = Priv.Machine);
+  check_i64 "vectored to mtvec" 0x8000L (Cpu_state.pc s)
+
+let () =
+  Alcotest.run "mi6_func"
+    [
+      ( "arith",
+        [
+          Alcotest.test_case "sum loop" `Quick test_sum_loop;
+          Alcotest.test_case "alu ops" `Quick test_alu_ops;
+          Alcotest.test_case "word ops sign extend" `Quick
+            test_word_ops_sign_extend;
+          Alcotest.test_case "muldiv edge cases" `Quick test_muldiv_edge_cases;
+          Alcotest.test_case "load/store widths" `Quick test_load_store_widths;
+          Alcotest.test_case "jal/jalr linkage" `Quick test_jal_jalr_link;
+        ] );
+      ( "atomics",
+        [
+          Alcotest.test_case "amo operations" `Quick test_amo_operations;
+          Alcotest.test_case "lr/sc" `Quick test_lr_sc_success_and_failure;
+          Alcotest.test_case "amo.w sign extension" `Quick
+            test_amo_word_sign_extension;
+        ] );
+      ( "traps",
+        [
+          Alcotest.test_case "ecall U->M" `Quick test_ecall_from_u_traps_to_m;
+          Alcotest.test_case "medeleg ecall U->S" `Quick
+            test_ecall_delegation_to_s;
+          Alcotest.test_case "csr privilege" `Quick test_csr_privilege_enforced;
+          Alcotest.test_case "read-only csrs" `Quick test_csr_read_only;
+          Alcotest.test_case "csrrw/s/c semantics" `Quick test_csrrw_roundtrip;
+          Alcotest.test_case "timer interrupt" `Quick test_timer_interrupt;
+          Alcotest.test_case "mret restores mode" `Quick test_mret_restores;
+        ] );
+      ( "vm",
+        [
+          Alcotest.test_case "translated execution" `Quick
+            test_vm_translated_execution;
+          Alcotest.test_case "page fault unmapped" `Quick
+            test_vm_page_fault_unmapped;
+          Alcotest.test_case "write to rx page" `Quick
+            test_vm_write_to_rx_page_faults;
+          Alcotest.test_case "walk accesses recorded" `Quick
+            test_walk_accesses_recorded;
+        ] );
+      ( "mi6_checks",
+        [
+          Alcotest.test_case "region fault on load" `Quick
+            test_region_fault_on_load;
+          Alcotest.test_case "region fault on walk" `Quick
+            test_region_fault_on_walk;
+          Alcotest.test_case "region fault on fetch" `Quick
+            test_region_fault_on_fetch;
+          Alcotest.test_case "machine mode bypasses" `Quick
+            test_machine_mode_bypasses_regions;
+          Alcotest.test_case "mfetch window" `Quick test_mfetch_restriction;
+          Alcotest.test_case "purge privilege" `Quick
+            test_purge_machine_mode_only;
+          Alcotest.test_case "purge flag" `Quick test_purged_flag_in_step_result;
+          Alcotest.test_case "TVM traps satp" `Quick test_tvm_traps_satp_access;
+        ] );
+      ( "firmware",
+        [
+          Alcotest.test_case "handles ecall" `Quick test_firmware_handles_ecall;
+          Alcotest.test_case "can decline" `Quick test_firmware_can_decline;
+        ] );
+    ]

@@ -1,0 +1,362 @@
+(* Tests for the mi6_isa library: registers, privilege, CSRs, encoding
+   roundtrips, and the assembler. *)
+
+open Mi6_isa
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Reg / Priv / Csr                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_reg_names () =
+  check_string "x0" "zero" (Reg.name Reg.x0);
+  check_string "a0" "a0" (Reg.name Reg.a0);
+  check_string "t6" "t6" (Reg.name Reg.t6);
+  Alcotest.check_raises "register 32 invalid"
+    (Invalid_argument "Reg: register out of range") (fun () ->
+      ignore (Reg.name 32))
+
+let test_priv_ordering () =
+  check_bool "M > S" true (Priv.more_privileged Machine Supervisor);
+  check_bool "S > U" true (Priv.more_privileged Supervisor User);
+  check_bool "U not > M" false (Priv.more_privileged User Machine);
+  check_bool "M not > M" false (Priv.more_privileged Machine Machine)
+
+let test_priv_mode_roundtrip () =
+  List.iter
+    (fun m ->
+      check_bool "mode roundtrip" true (Priv.mode_of_int (Priv.mode_to_int m) = m))
+    [ Priv.User; Priv.Supervisor; Priv.Machine ]
+
+let test_cause_roundtrip () =
+  let causes =
+    Priv.
+      [
+        Exception Illegal_instruction;
+        Exception Ecall_from_u;
+        Exception Region_fault;
+        Exception Load_page_fault;
+        Interrupt Timer_interrupt;
+        Interrupt External_interrupt;
+      ]
+  in
+  List.iter
+    (fun c ->
+      match Priv.cause_of_code (Priv.cause_code c) with
+      | Some c' -> check_bool "cause roundtrip" true (c = c')
+      | None -> Alcotest.fail "cause failed to decode")
+    causes;
+  check_bool "interrupt bit set" true
+    (Int64.logand (Priv.cause_code (Interrupt Timer_interrupt)) Int64.min_int
+    <> 0L)
+
+let test_csr_privilege () =
+  check_bool "mstatus is M-mode" true (Csr.min_priv Csr.mstatus = Priv.Machine);
+  check_bool "satp is S-mode" true (Csr.min_priv Csr.satp = Priv.Supervisor);
+  check_bool "cycle is U-mode" true (Csr.min_priv Csr.cycle = Priv.User);
+  check_bool "mregions is M-mode" true (Csr.min_priv Csr.mregions = Priv.Machine);
+  check_bool "mspec is M-mode" true (Csr.min_priv Csr.mspec = Priv.Machine);
+  check_bool "mregions known" true (Csr.is_known Csr.mregions);
+  check_bool "0x123 unknown" false (Csr.is_known 0x123)
+
+(* ------------------------------------------------------------------ *)
+(* Encoding golden values (cross-checked against riscv-tests / gnu as) *)
+(* ------------------------------------------------------------------ *)
+
+let test_encode_golden () =
+  (* addi a0, a0, 1 = 0x00150513 *)
+  check_int "addi a0,a0,1" 0x00150513
+    (Encode.encode (Alu_imm { op = Add; rd = 10; rs1 = 10; imm = 1 }));
+  (* add a0, a1, a2 = 0x00c58533 *)
+  check_int "add a0,a1,a2" 0x00c58533
+    (Encode.encode (Alu { op = Add; rd = 10; rs1 = 11; rs2 = 12 }));
+  (* lui a0, 0x12345 = 0x12345537 *)
+  check_int "lui a0,0x12345" 0x12345537
+    (Encode.encode (Lui { rd = 10; imm = 0x12345000 }));
+  (* ld a0, 8(sp) = 0x00813503 *)
+  check_int "ld a0,8(sp)" 0x00813503
+    (Encode.encode (Load { kind = Ld; rd = 10; rs1 = 2; offset = 8 }));
+  (* sd a0, 8(sp) = 0x00a13423 *)
+  check_int "sd a0,8(sp)" 0x00a13423
+    (Encode.encode (Store { kind = Sd; rs1 = 2; rs2 = 10; offset = 8 }));
+  (* beq a0, a1, +8 = 0x00b50463 *)
+  check_int "beq a0,a1,8" 0x00b50463
+    (Encode.encode (Branch { kind = Beq; rs1 = 10; rs2 = 11; offset = 8 }));
+  (* jal ra, +16 = 0x010000ef *)
+  check_int "jal ra,16" 0x010000ef
+    (Encode.encode (Jal { rd = 1; offset = 16 }));
+  (* ecall = 0x00000073, mret = 0x30200073, sret = 0x10200073 *)
+  check_int "ecall" 0x00000073 (Encode.encode Ecall);
+  check_int "mret" 0x30200073 (Encode.encode Mret);
+  check_int "sret" 0x10200073 (Encode.encode Sret);
+  (* csrrw a0, mscratch, a1 = 0x34059573 *)
+  check_int "csrrw a0,mscratch,a1" 0x34059573
+    (Encode.encode (Csr { op = Csrrw; rd = 10; src = Rs 11; csr = Csr.mscratch }));
+  (* mul a0, a1, a2 = 0x02c58533 *)
+  check_int "mul a0,a1,a2" 0x02c58533
+    (Encode.encode (Muldiv { op = Mul; rd = 10; rs1 = 11; rs2 = 12 }));
+  (* srai a0, a0, 3 = 0x40355513 *)
+  check_int "srai a0,a0,3" 0x40355513
+    (Encode.encode (Alu_imm { op = Sra; rd = 10; rs1 = 10; imm = 3 }));
+  (* amoadd.w a0, a1, (a2) = 0x00b6252f *)
+  check_int "amoadd.w a0,a1,(a2)" 0x00b6252f
+    (Encode.encode (Amo { op = Amoadd; width = W; rd = 10; rs1 = 12; rs2 = 11 }));
+  (* lr.d a0, (a1) = 0x1005b52f *)
+  check_int "lr.d a0,(a1)" 0x1005b52f
+    (Encode.encode (Lr { width = D; rd = 10; rs1 = 11 }));
+  (* sc.d a0, a2, (a1) = 0x18c5b52f *)
+  check_int "sc.d a0,a2,(a1)" 0x18c5b52f
+    (Encode.encode (Sc { width = D; rd = 10; rs1 = 11; rs2 = 12 }))
+
+let test_encode_range_checks () =
+  Alcotest.check_raises "branch offset too far"
+    (Invalid_argument "Encode: B-type immediate 5000 out of range") (fun () ->
+      ignore
+        (Encode.encode (Branch { kind = Beq; rs1 = 0; rs2 = 0; offset = 5000 })));
+  Alcotest.check_raises "odd branch offset"
+    (Invalid_argument "Encode: branch offset 3 is odd") (fun () ->
+      ignore
+        (Encode.encode (Branch { kind = Beq; rs1 = 0; rs2 = 0; offset = 3 })));
+  Alcotest.check_raises "subi rejected"
+    (Invalid_argument "Encode: subi does not exist") (fun () ->
+      ignore (Encode.encode (Alu_imm { op = Sub; rd = 1; rs1 = 1; imm = 0 })))
+
+let test_decode_illegal () =
+  check_bool "all zeros illegal" true (Encode.decode 0 = None);
+  check_bool "all ones illegal" true (Encode.decode 0xFFFFFFFF = None);
+  (* branch funct3=2 is unused *)
+  check_bool "bad branch funct3" true (Encode.decode 0x00002063 = None)
+
+let test_purge_encoding () =
+  let w = Encode.encode Purge in
+  check_int "purge opcode is custom-0" 0x0B (w land 0x7F);
+  check_bool "purge roundtrip" true (Encode.decode w = Some Purge)
+
+(* Roundtrip property over randomly generated well-formed instructions. *)
+let instr_gen =
+  let open QCheck.Gen in
+  let reg = int_range 0 31 in
+  let imm12 = int_range (-2048) 2047 in
+  let b_off = map (fun i -> i * 2) (int_range (-2048) 2047) in
+  let j_off = map (fun i -> i * 2) (int_range (-524288) 524287) in
+  let u_imm = map (fun i -> i lsl 12) (int_range (-524288) 524287) in
+  let shamt = int_range 0 63 in
+  let shamtw = int_range 0 31 in
+  let branch_kind =
+    oneofl Instr.[ Beq; Bne; Blt; Bge; Bltu; Bgeu ]
+  in
+  let load_kind = oneofl Instr.[ Lb; Lh; Lw; Ld; Lbu; Lhu; Lwu ] in
+  let store_kind = oneofl Instr.[ Sb; Sh; Sw; Sd ] in
+  let alu_op_imm = oneofl Instr.[ Add; Slt; Sltu; Xor; Or; And ] in
+  let alu_op = oneofl Instr.[ Add; Sub; Sll; Slt; Sltu; Xor; Srl; Sra; Or; And ] in
+  let alu_w_op = oneofl Instr.[ Addw; Subw; Sllw; Srlw; Sraw ] in
+  let mul_op =
+    oneofl Instr.[ Mul; Mulh; Mulhsu; Mulhu; Div; Divu; Rem; Remu ]
+  in
+  let mul_w_op = oneofl Instr.[ Mulw; Divw; Divuw; Remw; Remuw ] in
+  let csr = oneofl Csr.[ mstatus; mepc; satp; mregions; mspec; mscratch ] in
+  oneof
+    [
+      map2 (fun rd imm -> Instr.Lui { rd; imm }) reg u_imm;
+      map2 (fun rd imm -> Instr.Auipc { rd; imm }) reg u_imm;
+      map2 (fun rd offset -> Instr.Jal { rd; offset }) reg j_off;
+      map3 (fun rd rs1 offset -> Instr.Jalr { rd; rs1; offset }) reg reg imm12;
+      (let* kind = branch_kind and* rs1 = reg and* rs2 = reg and* offset = b_off in
+       return (Instr.Branch { kind; rs1; rs2; offset }));
+      (let* kind = load_kind and* rd = reg and* rs1 = reg and* offset = imm12 in
+       return (Instr.Load { kind; rd; rs1; offset }));
+      (let* kind = store_kind and* rs1 = reg and* rs2 = reg and* offset = imm12 in
+       return (Instr.Store { kind; rs1; rs2; offset }));
+      (let* op = alu_op_imm and* rd = reg and* rs1 = reg and* imm = imm12 in
+       return (Instr.Alu_imm { op; rd; rs1; imm }));
+      (let* op = oneofl Instr.[ Sll; Srl; Sra ] and* rd = reg and* rs1 = reg
+       and* imm = shamt in
+       return (Instr.Alu_imm { op; rd; rs1; imm }));
+      (let* rd = reg and* rs1 = reg and* imm = imm12 in
+       return (Instr.Alu_imm_w { op = Addw; rd; rs1; imm }));
+      (let* op = oneofl Instr.[ Sllw; Srlw; Sraw ] and* rd = reg and* rs1 = reg
+       and* imm = shamtw in
+       return (Instr.Alu_imm_w { op; rd; rs1; imm }));
+      (let* op = alu_op and* rd = reg and* rs1 = reg and* rs2 = reg in
+       return (Instr.Alu { op; rd; rs1; rs2 }));
+      (let* op = alu_w_op and* rd = reg and* rs1 = reg and* rs2 = reg in
+       return (Instr.Alu_w { op; rd; rs1; rs2 }));
+      (let* op = mul_op and* rd = reg and* rs1 = reg and* rs2 = reg in
+       return (Instr.Muldiv { op; rd; rs1; rs2 }));
+      (let* op = mul_w_op and* rd = reg and* rs1 = reg and* rs2 = reg in
+       return (Instr.Muldiv_w { op; rd; rs1; rs2 }));
+      (let* op = oneofl Instr.[ Csrrw; Csrrs; Csrrc ] and* rd = reg
+       and* rs1 = reg and* c = csr in
+       return (Instr.Csr { op; rd; src = Rs rs1; csr = c }));
+      (let* op = oneofl Instr.[ Csrrw; Csrrs; Csrrc ] and* rd = reg
+       and* imm = int_range 0 31 and* c = csr in
+       return (Instr.Csr { op; rd; src = Uimm imm; csr = c }));
+      oneofl
+        Instr.[ Ecall; Ebreak; Mret; Sret; Wfi; Fence; Fence_i; Purge ];
+      map2 (fun rs1 rs2 -> Instr.Sfence_vma { rs1; rs2 }) reg reg;
+      (let* width = oneofl Instr.[ W; D ] and* rd = reg and* rs1 = reg in
+       return (Instr.Lr { width; rd; rs1 }));
+      (let* width = oneofl Instr.[ W; D ] and* rd = reg and* rs1 = reg
+       and* rs2 = reg in
+       return (Instr.Sc { width; rd; rs1; rs2 }));
+      (let* op =
+         oneofl
+           Instr.[ Amoswap; Amoadd; Amoxor; Amoand; Amoor; Amomin; Amomax;
+                   Amominu; Amomaxu ]
+       and* width = oneofl Instr.[ W; D ] and* rd = reg and* rs1 = reg
+       and* rs2 = reg in
+       return (Instr.Amo { op; width; rd; rs1; rs2 }));
+    ]
+
+let prop_encode_decode_roundtrip =
+  QCheck.Test.make ~name:"decode (encode i) = i" ~count:2000
+    (QCheck.make ~print:Instr.to_string instr_gen)
+    (fun i -> Encode.decode (Encode.encode i) = Some i)
+
+let prop_encode_32bit =
+  QCheck.Test.make ~name:"encodings fit in 32 bits" ~count:1000
+    (QCheck.make ~print:Instr.to_string instr_gen)
+    (fun i ->
+      let w = Encode.encode i in
+      w >= 0 && w <= 0xFFFFFFFF)
+
+(* ------------------------------------------------------------------ *)
+(* Instruction classification                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_classification () =
+  let load = Instr.Load { kind = Ld; rd = 1; rs1 = 2; offset = 0 } in
+  let store = Instr.Store { kind = Sd; rs1 = 2; rs2 = 1; offset = 0 } in
+  let branch = Instr.Branch { kind = Beq; rs1 = 1; rs2 = 2; offset = 8 } in
+  check_bool "load is mem" true (Instr.is_mem load);
+  check_bool "store is mem" true (Instr.is_mem store);
+  check_bool "load not store" false (Instr.is_store load);
+  check_bool "branch is control flow" true (Instr.is_control_flow branch);
+  check_bool "purge serializes" true (Instr.is_serializing Purge);
+  check_bool "csr serializes" true
+    (Instr.is_serializing (Csr { op = Csrrw; rd = 0; src = Rs 1; csr = 0x300 }));
+  check_bool "add does not serialize" false
+    (Instr.is_serializing (Alu { op = Add; rd = 1; rs1 = 2; rs2 = 3 }))
+
+let test_dest_sources () =
+  let i = Instr.Alu { op = Add; rd = 5; rs1 = 6; rs2 = 0 } in
+  Alcotest.(check (option int)) "dest" (Some 5) (Instr.dest i);
+  Alcotest.(check (list int)) "sources drop x0" [ 6 ] (Instr.sources i);
+  Alcotest.(check (option int)) "x0 dest is none" None
+    (Instr.dest (Alu_imm { op = Add; rd = 0; rs1 = 1; imm = 0 }));
+  Alcotest.(check (list int)) "store sources" [ 2; 1 ]
+    (Instr.sources (Store { kind = Sd; rs1 = 2; rs2 = 1; offset = 0 }))
+
+let test_access_widths () =
+  check_int "lb 1 byte" 1 (Instr.load_bytes Lb);
+  check_int "ld 8 bytes" 8 (Instr.load_bytes Ld);
+  check_int "sw 4 bytes" 4 (Instr.store_bytes Sw);
+  check_int "lwu 4 bytes" 4 (Instr.load_bytes Lwu)
+
+(* ------------------------------------------------------------------ *)
+(* Assembler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_asm_forward_backward () =
+  let p =
+    Asm.assemble ~base:0x1000
+      [
+        Asm.Label "start";
+        Asm.I (Alu_imm { op = Add; rd = 1; rs1 = 0; imm = 0 });
+        Asm.Label "loop";
+        Asm.I (Alu_imm { op = Add; rd = 1; rs1 = 1; imm = 1 });
+        Asm.Br_to (Bne, 1, 2, "loop");
+        Asm.J "end";
+        Asm.Nop;
+        Asm.Label "end";
+        Asm.Ret;
+      ]
+  in
+  check_int "start label" 0x1000 (Asm.lookup p "start");
+  check_int "loop label" 0x1004 (Asm.lookup p "loop");
+  check_int "end label" 0x1014 (Asm.lookup p "end");
+  check_int "code size" 24 (Asm.size_bytes p);
+  (* The backward branch at 0x1008 targets 0x1004: offset -4. *)
+  (match Encode.decode p.words.(2) with
+  | Some (Branch { offset; _ }) -> check_int "backward offset" (-4) offset
+  | _ -> Alcotest.fail "expected branch");
+  (* The forward jump at 0x100c targets 0x1014: offset +8. *)
+  match Encode.decode p.words.(3) with
+  | Some (Jal { offset; _ }) -> check_int "forward offset" 8 offset
+  | _ -> Alcotest.fail "expected jal"
+
+let test_asm_li_values () =
+  (* Check that Li produces the intended constant under lui/addi
+     semantics: rd = (hi + sign-extended lo). *)
+  let check_li v =
+    let p = Asm.assemble ~base:0 [ Asm.Li (5, v) ] in
+    match (Encode.decode p.words.(0), Encode.decode p.words.(1)) with
+    | Some (Lui { imm = hi; _ }), Some (Alu_imm { op = Add; imm = lo; _ }) ->
+      check_int (Printf.sprintf "li %d" v) v ((hi + lo) land 0xFFFFFFFF
+        |> fun x -> ((x lxor 0x80000000) - 0x80000000))
+    | _ -> Alcotest.fail "expected lui/addi pair"
+  in
+  List.iter check_li [ 0; 1; -1; 0x7FF; 0x800; 0xFFF; 0x1000; 0x12345678;
+                       -0x12345678; 0x7FFFFFFF; -0x80000000 ]
+
+let test_asm_duplicate_label () =
+  Alcotest.check_raises "duplicate label"
+    (Failure "Asm: duplicate label \"x\"") (fun () ->
+      ignore (Asm.assemble ~base:0 [ Asm.Label "x"; Asm.Label "x" ]))
+
+let test_asm_undefined_label () =
+  Alcotest.check_raises "undefined label"
+    (Failure "Asm: undefined label \"nowhere\"") (fun () ->
+      ignore (Asm.assemble ~base:0 [ Asm.J "nowhere" ]))
+
+let test_asm_to_bytes () =
+  let p = Asm.assemble ~base:0 [ Asm.Nop ] in
+  let s = Asm.to_bytes p in
+  check_int "4 bytes" 4 (String.length s);
+  (* nop = addi x0,x0,0 = 0x00000013, little-endian *)
+  check_int "byte 0" 0x13 (Char.code s.[0]);
+  check_int "byte 3" 0x00 (Char.code s.[3])
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mi6_isa"
+    [
+      ( "reg_priv_csr",
+        [
+          Alcotest.test_case "register names" `Quick test_reg_names;
+          Alcotest.test_case "privilege ordering" `Quick test_priv_ordering;
+          Alcotest.test_case "mode roundtrip" `Quick test_priv_mode_roundtrip;
+          Alcotest.test_case "cause codes roundtrip" `Quick test_cause_roundtrip;
+          Alcotest.test_case "csr privilege levels" `Quick test_csr_privilege;
+        ] );
+      ( "encode",
+        [
+          Alcotest.test_case "golden encodings" `Quick test_encode_golden;
+          Alcotest.test_case "immediate range checks" `Quick
+            test_encode_range_checks;
+          Alcotest.test_case "illegal words decode to None" `Quick
+            test_decode_illegal;
+          Alcotest.test_case "purge custom-0 encoding" `Quick
+            test_purge_encoding;
+        ]
+        @ qsuite [ prop_encode_decode_roundtrip; prop_encode_32bit ] );
+      ( "classify",
+        [
+          Alcotest.test_case "classification" `Quick test_classification;
+          Alcotest.test_case "dest and sources" `Quick test_dest_sources;
+          Alcotest.test_case "access widths" `Quick test_access_widths;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "forward/backward labels" `Quick
+            test_asm_forward_backward;
+          Alcotest.test_case "li constant splitting" `Quick test_asm_li_values;
+          Alcotest.test_case "duplicate label" `Quick test_asm_duplicate_label;
+          Alcotest.test_case "undefined label" `Quick test_asm_undefined_label;
+          Alcotest.test_case "byte image" `Quick test_asm_to_bytes;
+        ] );
+    ]

@@ -1,0 +1,288 @@
+(* Tests for mi6_mem: physical memory, address geometry, page tables. *)
+
+open Mi6_mem
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Addr                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_addr_lines_pages () =
+  check_int "line_of" 2 (Addr.line_of 128);
+  check_int "line_addr" 128 (Addr.line_addr 129);
+  check_int "line_addr exact" 128 (Addr.line_addr 128);
+  check_int "page_of" 1 (Addr.page_of 4097);
+  check_int "page_addr" 4096 (Addr.page_addr 8191);
+  check_int "offset_in_line" 63 (Addr.offset_in_line 127)
+
+let test_regions_default () =
+  let g = Addr.default_regions in
+  check_int "64 regions" 64 g.Addr.region_count;
+  check_int "32MB regions" (32 * 1024 * 1024) g.Addr.region_bytes;
+  check_int "region of 0" 0 (Addr.region_of g 0);
+  check_int "region of last byte" 63 (Addr.region_of g (g.Addr.dram_bytes - 1));
+  check_int "region base 1" (32 * 1024 * 1024) (Addr.region_base g 1);
+  check_bool "in_dram" true (Addr.in_dram g 0);
+  check_bool "not in_dram" false (Addr.in_dram g g.Addr.dram_bytes);
+  Alcotest.check_raises "region_of out of range"
+    (Invalid_argument
+       (Printf.sprintf "Addr.region_of: 0x%x outside DRAM" g.Addr.dram_bytes))
+    (fun () -> ignore (Addr.region_of g g.Addr.dram_bytes))
+
+let test_regions_constraints () =
+  Alcotest.check_raises "non pow2 dram"
+    (Invalid_argument "Addr.make_regions: dram_bytes must be a power of two")
+    (fun () -> ignore (Addr.make_regions ~dram_bytes:3000 ~region_count:4));
+  Alcotest.check_raises "region smaller than page"
+    (Invalid_argument "Addr.make_regions: regions smaller than a page")
+    (fun () -> ignore (Addr.make_regions ~dram_bytes:8192 ~region_count:4))
+
+(* No 4 KB page straddles two regions: pages are aligned and regions are
+   page multiples.  Property over random geometries. *)
+let prop_region_page_alignment =
+  QCheck.Test.make ~name:"no page straddles two regions" ~count:200
+    QCheck.(pair (int_range 0 6) (int_range 13 20))
+    (fun (rc_log, dram_log) ->
+      let region_count = 1 lsl rc_log in
+      let dram_bytes = 1 lsl dram_log in
+      if dram_bytes / region_count < Addr.page_bytes then true
+      else begin
+        let g = Addr.make_regions ~dram_bytes ~region_count in
+        let ok = ref true in
+        let page = ref 0 in
+        while !page + Addr.page_bytes <= dram_bytes do
+          if
+            Addr.region_of g !page
+            <> Addr.region_of g (!page + Addr.page_bytes - 1)
+          then ok := false;
+          page := !page + Addr.page_bytes
+        done;
+        !ok
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Phys_mem                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_mem_rw_widths () =
+  let m = Phys_mem.create ~size_bytes:(1 lsl 20) in
+  check_int "untouched reads zero" 0 (Phys_mem.read_u8 m 12345);
+  Phys_mem.write_u8 m 0 0xAB;
+  check_int "u8 roundtrip" 0xAB (Phys_mem.read_u8 m 0);
+  Phys_mem.write_u16 m 2 0xBEEF;
+  check_int "u16 roundtrip" 0xBEEF (Phys_mem.read_u16 m 2);
+  Phys_mem.write_u32 m 4 0xDEADBEEF;
+  check_int "u32 roundtrip" 0xDEADBEEF (Phys_mem.read_u32 m 4);
+  Phys_mem.write_u64 m 8 0x0123456789ABCDEFL;
+  Alcotest.(check int64) "u64 roundtrip" 0x0123456789ABCDEFL (Phys_mem.read_u64 m 8);
+  (* Little-endian layout. *)
+  Phys_mem.write_u32 m 16 0x11223344;
+  check_int "LE byte 0" 0x44 (Phys_mem.read_u8 m 16);
+  check_int "LE byte 3" 0x11 (Phys_mem.read_u8 m 19)
+
+let test_mem_cross_chunk () =
+  let m = Phys_mem.create ~size_bytes:(1 lsl 20) in
+  (* 64 KB chunk boundary at 0x10000. *)
+  Phys_mem.write_u64 m 0xFFFC 0x1122334455667788L;
+  Alcotest.(check int64) "crosses chunk boundary" 0x1122334455667788L
+    (Phys_mem.read_u64 m 0xFFFC)
+
+let test_mem_bounds () =
+  let m = Phys_mem.create ~size_bytes:4096 in
+  Alcotest.check_raises "read past end"
+    (Invalid_argument "Phys_mem: access 0xfff width 8 out of bounds")
+    (fun () -> ignore (Phys_mem.read_u64 m 0xFFF));
+  Alcotest.check_raises "negative address"
+    (Invalid_argument "Phys_mem: access -1 width 1 out of bounds")
+    (fun () -> ignore (Phys_mem.read_u8 m (-1)))
+
+let test_mem_strings () =
+  let m = Phys_mem.create ~size_bytes:4096 in
+  Phys_mem.load_string m 100 "hello";
+  Alcotest.(check string) "string roundtrip" "hello" (Phys_mem.read_string m 100 5);
+  Phys_mem.zero_range m 100 5;
+  Alcotest.(check string) "zeroed" "\x00\x00\x00\x00\x00" (Phys_mem.read_string m 100 5)
+
+let prop_mem_u64_roundtrip =
+  QCheck.Test.make ~name:"u64 write/read roundtrip" ~count:300
+    QCheck.(pair (int_range 0 1000) int64)
+    (fun (addr, v) ->
+      let m = Phys_mem.create ~size_bytes:4096 in
+      Phys_mem.write_u64 m addr v;
+      Phys_mem.read_u64 m addr = v)
+
+(* ------------------------------------------------------------------ *)
+(* Page_table                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let make_allocator start =
+  let next = ref start in
+  fun () ->
+    let p = !next in
+    next := p + 4096;
+    p
+
+let test_walk_basic () =
+  let m = Phys_mem.create ~size_bytes:(1 lsl 24) in
+  let root = 0x10000 in
+  let alloc = make_allocator 0x20000 in
+  Page_table.map_page m ~alloc ~root ~vaddr:0x4000L ~paddr:0x7000
+    ~perm:Page_table.perm_rw;
+  (match Page_table.walk m ~root ~vaddr:0x4123L with
+  | Page_table.Translated (leaf, steps) ->
+    check_int "translated paddr" 0x7123 leaf.Page_table.paddr;
+    check_int "page base" 0x7000 leaf.Page_table.page_base;
+    check_int "leaf level" 0 leaf.Page_table.level;
+    check_bool "r" true leaf.Page_table.perm.Page_table.r;
+    check_bool "w" true leaf.Page_table.perm.Page_table.w;
+    check_bool "not x" false leaf.Page_table.perm.Page_table.x;
+    check_int "3 walk steps" 3 (List.length steps)
+  | Page_table.Fault _ -> Alcotest.fail "unexpected fault");
+  (* Unmapped address faults. *)
+  match Page_table.walk m ~root ~vaddr:0x8000L with
+  | Page_table.Fault (Page_table.Invalid_pte, _) -> ()
+  | _ -> Alcotest.fail "expected invalid-pte fault"
+
+let test_walk_steps_are_pt_addresses () =
+  let m = Phys_mem.create ~size_bytes:(1 lsl 24) in
+  let root = 0x10000 in
+  let alloc = make_allocator 0x20000 in
+  Page_table.map_page m ~alloc ~root ~vaddr:0x4000L ~paddr:0x7000
+    ~perm:Page_table.perm_rw;
+  match Page_table.walk m ~root ~vaddr:0x4000L with
+  | Page_table.Translated (_, steps) ->
+    let levels = List.map (fun s -> s.Page_table.step_level) steps in
+    Alcotest.(check (list int)) "levels descend" [ 2; 1; 0 ] levels;
+    let first = List.hd steps in
+    check_bool "first step inside root table" true
+      (first.Page_table.pte_addr >= root && first.Page_table.pte_addr < root + 4096)
+  | Page_table.Fault _ -> Alcotest.fail "unexpected fault"
+
+let test_walk_non_canonical () =
+  let m = Phys_mem.create ~size_bytes:(1 lsl 20) in
+  match Page_table.walk m ~root:0 ~vaddr:0x0000_8000_0000_0000L with
+  | Page_table.Fault (Page_table.Non_canonical, steps) ->
+    check_int "no steps before canonical check" 0 (List.length steps)
+  | _ -> Alcotest.fail "expected non-canonical fault"
+
+let test_walk_w_without_r () =
+  let m = Phys_mem.create ~size_bytes:(1 lsl 20) in
+  let root = 0x1000 in
+  (* Hand-craft a root-level leaf PTE with W set but R clear: reserved. *)
+  let bad =
+    Page_table.pte_make ~ppn:0
+      ~perm:{ Page_table.r = false; w = true; x = false; u = false }
+      ~valid:true
+  in
+  (* W-without-R with X clear is the reserved combination the walker must
+     reject; write it at VPN2 slot 0. *)
+  Phys_mem.write_u64 m root bad;
+  match Page_table.walk m ~root ~vaddr:0x0L with
+  | Page_table.Fault (Page_table.Invalid_pte, _) -> ()
+  | _ -> Alcotest.fail "expected fault on W-without-R PTE"
+
+let test_walk_superpage () =
+  let m = Phys_mem.create ~size_bytes:(1 lsl 24) in
+  let root = 0x10000 in
+  (* Level-1 (2 MB) superpage: root slot 0 -> table; table slot 0 -> leaf
+     with 512-aligned PPN. *)
+  let l1 = 0x11000 in
+  Phys_mem.write_u64 m root (Page_table.pte_table ~ppn:(l1 / 4096));
+  Phys_mem.write_u64 m l1
+    (Page_table.pte_make ~ppn:512 ~perm:Page_table.perm_rwx ~valid:true);
+  (match Page_table.walk m ~root ~vaddr:0x12345L with
+  | Page_table.Translated (leaf, _) ->
+    check_int "superpage level" 1 leaf.Page_table.level;
+    (* ppn 512 = 2 MB base; offset keeps low 21 bits of the VA. *)
+    check_int "superpage paddr" (0x200000 + 0x12345) leaf.Page_table.paddr
+  | Page_table.Fault _ -> Alcotest.fail "unexpected fault");
+  (* Misaligned superpage (PPN low bits nonzero) must fault. *)
+  Phys_mem.write_u64 m l1
+    (Page_table.pte_make ~ppn:513 ~perm:Page_table.perm_rwx ~valid:true);
+  match Page_table.walk m ~root ~vaddr:0x12345L with
+  | Page_table.Fault (Page_table.Misaligned_superpage, _) -> ()
+  | _ -> Alcotest.fail "expected misaligned-superpage fault"
+
+let test_identity_map () =
+  let m = Phys_mem.create ~size_bytes:(1 lsl 24) in
+  let root = 0x10000 in
+  let alloc = make_allocator 0x20000 in
+  Page_table.identity_map m ~alloc ~root ~lo:0x100000 ~hi:0x104000
+    ~perm:Page_table.perm_rwx;
+  List.iter
+    (fun va ->
+      match Page_table.walk m ~root ~vaddr:(Int64.of_int va) with
+      | Page_table.Translated (leaf, _) ->
+        check_int "identity" va leaf.Page_table.paddr
+      | Page_table.Fault _ -> Alcotest.fail "identity map fault")
+    [ 0x100000; 0x101234; 0x103FFF ]
+
+(* Random 4 KB mappings walk back to the right frame. *)
+let prop_map_then_walk =
+  QCheck.Test.make ~name:"map_page then walk translates correctly" ~count:100
+    QCheck.(small_list (pair (int_range 0 255) (int_range 256 511)))
+    (fun pairs ->
+      let m = Phys_mem.create ~size_bytes:(1 lsl 24) in
+      let root = 0x10000 in
+      let alloc = make_allocator 0x400000 in
+      (* Deduplicate virtual page numbers to avoid remap conflicts. *)
+      let seen = Hashtbl.create 16 in
+      let pairs =
+        List.filter
+          (fun (vp, _) ->
+            if Hashtbl.mem seen vp then false
+            else begin
+              Hashtbl.add seen vp ();
+              true
+            end)
+          pairs
+      in
+      List.iter
+        (fun (vp, pp) ->
+          Page_table.map_page m ~alloc ~root
+            ~vaddr:(Int64.of_int (vp * 4096))
+            ~paddr:(pp * 4096) ~perm:Page_table.perm_rw)
+        pairs;
+      List.for_all
+        (fun (vp, pp) ->
+          match
+            Page_table.walk m ~root ~vaddr:(Int64.of_int ((vp * 4096) + 42))
+          with
+          | Page_table.Translated (leaf, _) ->
+            leaf.Page_table.paddr = (pp * 4096) + 42
+          | Page_table.Fault _ -> false)
+        pairs)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mi6_mem"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "lines and pages" `Quick test_addr_lines_pages;
+          Alcotest.test_case "default regions" `Quick test_regions_default;
+          Alcotest.test_case "region constraints" `Quick test_regions_constraints;
+        ]
+        @ qsuite [ prop_region_page_alignment ] );
+      ( "phys_mem",
+        [
+          Alcotest.test_case "widths and endianness" `Quick test_mem_rw_widths;
+          Alcotest.test_case "cross-chunk access" `Quick test_mem_cross_chunk;
+          Alcotest.test_case "bounds" `Quick test_mem_bounds;
+          Alcotest.test_case "strings and zeroing" `Quick test_mem_strings;
+        ]
+        @ qsuite [ prop_mem_u64_roundtrip ] );
+      ( "page_table",
+        [
+          Alcotest.test_case "basic walk" `Quick test_walk_basic;
+          Alcotest.test_case "walk steps" `Quick test_walk_steps_are_pt_addresses;
+          Alcotest.test_case "non-canonical" `Quick test_walk_non_canonical;
+          Alcotest.test_case "W-without-R rejected" `Quick test_walk_w_without_r;
+          Alcotest.test_case "superpages" `Quick test_walk_superpage;
+          Alcotest.test_case "identity map" `Quick test_identity_map;
+        ]
+        @ qsuite [ prop_map_then_walk ] );
+    ]

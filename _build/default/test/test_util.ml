@@ -1,0 +1,362 @@
+(* Unit and property tests for the mi6_util substrate. *)
+
+open Mi6_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Fifo                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_fifo_basic () =
+  let q = Fifo.create ~capacity:3 in
+  check_bool "fresh queue empty" true (Fifo.is_empty q);
+  check_bool "fresh queue can enq" true (Fifo.can_enq q);
+  Fifo.enq q 1;
+  Fifo.enq q 2;
+  Fifo.enq q 3;
+  check_bool "full after capacity enqs" true (Fifo.is_full q);
+  check_bool "cannot enq when full" false (Fifo.can_enq q);
+  check_int "fifo order 1" 1 (Fifo.deq q);
+  check_int "fifo order 2" 2 (Fifo.deq q);
+  Fifo.enq q 4;
+  check_int "fifo order 3" 3 (Fifo.deq q);
+  check_int "fifo order 4" 4 (Fifo.deq q);
+  check_bool "empty at end" true (Fifo.is_empty q)
+
+let test_fifo_peek_clear () =
+  let q = Fifo.create ~capacity:2 in
+  Alcotest.check_raises "deq empty" (Failure "Fifo.deq: empty") (fun () ->
+      ignore (Fifo.deq q));
+  Fifo.enq q 7;
+  check_int "peek does not remove" 7 (Fifo.peek q);
+  check_int "length after peek" 1 (Fifo.length q);
+  Fifo.clear q;
+  check_bool "clear empties" true (Fifo.is_empty q);
+  Alcotest.(check (option int)) "peek_opt empty" None (Fifo.peek_opt q)
+
+let test_fifo_enq_full () =
+  let q = Fifo.create ~capacity:1 in
+  Fifo.enq q 0;
+  Alcotest.check_raises "enq full" (Failure "Fifo.enq: full") (fun () ->
+      Fifo.enq q 1)
+
+let test_fifo_wraparound_iter () =
+  let q = Fifo.create ~capacity:4 in
+  List.iter (Fifo.enq q) [ 1; 2; 3; 4 ];
+  ignore (Fifo.deq q);
+  ignore (Fifo.deq q);
+  Fifo.enq q 5;
+  Fifo.enq q 6;
+  Alcotest.(check (list int)) "to_list oldest first" [ 3; 4; 5; 6 ] (Fifo.to_list q)
+
+(* A FIFO behaves like a list queue under any valid op sequence. *)
+let prop_fifo_model =
+  QCheck.Test.make ~name:"fifo matches list model" ~count:300
+    QCheck.(pair (int_range 1 8) (small_list (option small_int)))
+    (fun (cap, ops) ->
+      let q = Fifo.create ~capacity:cap in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some x ->
+            if Fifo.can_enq q then begin
+              Fifo.enq q x;
+              model := !model @ [ x ];
+              Fifo.to_list q = !model
+            end
+            else List.length !model = cap
+          | None ->
+            if Fifo.can_deq q then begin
+              match !model with
+              | [] -> false
+              | m :: rest ->
+                let got = Fifo.deq q in
+                model := rest;
+                got = m && Fifo.to_list q = !model
+            end
+            else !model = [])
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Bitvec                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitvec_basic () =
+  let v = Bitvec.create 100 in
+  check_bool "fresh bit clear" false (Bitvec.get v 63);
+  Bitvec.set v 63;
+  check_bool "set bit" true (Bitvec.get v 63);
+  check_int "popcount 1" 1 (Bitvec.popcount v);
+  Bitvec.clear v 63;
+  check_bool "cleared" false (Bitvec.get v 63);
+  check_bool "empty again" true (Bitvec.is_empty v)
+
+let test_bitvec_bounds () =
+  let v = Bitvec.create 8 in
+  Alcotest.check_raises "oob get" (Invalid_argument "Bitvec: index out of bounds")
+    (fun () -> ignore (Bitvec.get v 8))
+
+let test_bitvec_disjoint () =
+  let a = Bitvec.of_indices 64 [ 0; 5; 9 ] in
+  let b = Bitvec.of_indices 64 [ 1; 6; 10 ] in
+  let c = Bitvec.of_indices 64 [ 9; 20 ] in
+  check_bool "disjoint" true (Bitvec.disjoint a b);
+  check_bool "overlap detected" false (Bitvec.disjoint a c);
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Bitvec.disjoint: width mismatch") (fun () ->
+      ignore (Bitvec.disjoint a (Bitvec.create 32)))
+
+let test_bitvec_full () =
+  let v = Bitvec.create_full 70 in
+  check_int "all set" 70 (Bitvec.popcount v);
+  Bitvec.clear_all v;
+  check_int "all clear" 0 (Bitvec.popcount v)
+
+let prop_bitvec_roundtrip =
+  QCheck.Test.make ~name:"bitvec of_indices/to_indices roundtrip" ~count:200
+    QCheck.(small_list (int_range 0 199))
+    (fun idxs ->
+      let sorted = List.sort_uniq compare idxs in
+      let v = Bitvec.of_indices 200 idxs in
+      Bitvec.to_indices v = sorted && Bitvec.popcount v = List.length sorted)
+
+let prop_bitvec_copy_independent =
+  QCheck.Test.make ~name:"bitvec copy is independent" ~count:100
+    QCheck.(small_list (int_range 0 63))
+    (fun idxs ->
+      let v = Bitvec.of_indices 64 idxs in
+      let w = Bitvec.copy v in
+      Bitvec.set w 0;
+      Bitvec.clear w 63;
+      Bitvec.equal v (Bitvec.of_indices 64 idxs))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.of_int 42 and b = Rng.of_int 42 in
+  for _ = 1 to 100 do
+    check_bool "same seed same stream" true (Rng.bits64 a = Rng.bits64 b)
+  done
+
+let test_rng_split_decorrelated () =
+  let parent = Rng.of_int 7 in
+  let child = Rng.split parent in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 parent = Rng.bits64 child then incr same
+  done;
+  check_int "split streams do not collide" 0 !same
+
+let test_rng_int_bounds () =
+  let r = Rng.of_int 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 17 in
+    check_bool "in range" true (x >= 0 && x < 17)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_choose_weights () =
+  let r = Rng.of_int 3 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 3000 do
+    let i = Rng.choose r [| 1.0; 0.0; 3.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check_int "zero-weight bucket never chosen" 0 counts.(1);
+  check_bool "heavier bucket dominates" true (counts.(2) > counts.(0))
+
+let test_rng_geometric_mean () =
+  let r = Rng.of_int 9 in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Rng.geometric r ~mean:5.0
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  check_bool "geometric mean near 5" true (mean > 4.5 && mean < 5.5)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_counters () =
+  let s = Stats.create () in
+  check_int "untouched counter is 0" 0 (Stats.get s "x");
+  Stats.incr s "x";
+  Stats.add s "x" 4;
+  check_int "incr + add" 5 (Stats.get s "x");
+  Stats.set s "y" 100;
+  Alcotest.(check (list string)) "sorted names" [ "x"; "y" ] (Stats.names s);
+  Stats.reset s;
+  check_int "reset zeroes" 0 (Stats.get s "x")
+
+let test_stats_per_kilo () =
+  let s = Stats.create () in
+  Stats.set s "misses" 30;
+  Stats.set s "instrs" 2000;
+  Alcotest.(check (float 1e-9)) "mpki" 15.0 (Stats.per_kilo s ~num:"misses" ~den:"instrs");
+  Alcotest.(check (float 1e-9)) "zero denominator" 0.0
+    (Stats.per_kilo s ~num:"misses" ~den:"nope")
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.set a "x" 1;
+  Stats.set b "x" 2;
+  Stats.set b "y" 3;
+  Stats.merge ~into:a b;
+  check_int "merged existing" 3 (Stats.get a "x");
+  check_int "merged fresh" 3 (Stats.get a "y")
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_cells () =
+  check_string "cell_f" "3.5" (Table.cell_f 3.49999);
+  check_string "cell_pct" "16.4%" (Table.cell_pct 16.42);
+  let t = Table.create ~title:"t" ~columns:[ "only" ] in
+  Alcotest.check_raises "bad row width"
+    (Invalid_argument "Table.add_row: cell count does not match columns")
+    (fun () -> Table.add_row t "r" [ "1"; "2" ])
+
+let test_table_contains_rows () =
+  let t = Table.create ~title:"Overheads" ~columns:[ "ovh" ] in
+  Table.add_row t "gcc" [ "21.6%" ];
+  Table.add_row t "astar" [ "10.9%" ];
+  let s = Table.render t in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "gcc row" true (contains "gcc" s);
+  check_bool "astar row" true (contains "astar" s);
+  check_bool "column header" true (contains "ovh" s)
+
+(* ------------------------------------------------------------------ *)
+(* Sha256 / Hmac                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* NIST FIPS 180-4 test vectors. *)
+let test_sha256_vectors () =
+  check_string "empty string"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.to_hex (Sha256.digest ""));
+  check_string "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.to_hex (Sha256.digest "abc"));
+  check_string "two-block message"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.to_hex
+       (Sha256.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"));
+  check_string "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.to_hex (Sha256.digest (String.make 1_000_000 'a')))
+
+let test_sha256_incremental () =
+  let whole = Sha256.digest "the quick brown fox jumps over the lazy dog" in
+  let ctx = Sha256.init () in
+  Sha256.feed ctx "the quick brown ";
+  Sha256.feed ctx "fox jumps over ";
+  Sha256.feed ctx "the lazy dog";
+  check_string "incremental equals one-shot" (Sha256.to_hex whole)
+    (Sha256.to_hex (Sha256.finalize ctx))
+
+let test_sha256_finalize_once () =
+  let ctx = Sha256.init () in
+  ignore (Sha256.finalize ctx);
+  Alcotest.check_raises "finalize twice"
+    (Invalid_argument "Sha256.finalize: already finalized") (fun () ->
+      ignore (Sha256.finalize ctx))
+
+(* RFC 4231 test case 2. *)
+let test_hmac_vector () =
+  let tag = Hmac.mac ~key:"Jefe" "what do ya want for nothing?" in
+  check_string "rfc4231 #2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Sha256.to_hex tag)
+
+let test_hmac_long_key () =
+  (* RFC 4231 test case 6: 131-byte key forces the key-hash path. *)
+  let key = String.make 131 '\xaa' in
+  let tag = Hmac.mac ~key "Test Using Larger Than Block-Size Key - Hash Key First" in
+  check_string "rfc4231 #6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Sha256.to_hex tag)
+
+let test_hmac_verify () =
+  let key = "platform-root" and msg = "measurement||challenge" in
+  let tag = Hmac.mac ~key msg in
+  check_bool "good tag verifies" true (Hmac.verify ~key ~tag msg);
+  check_bool "flipped bit fails" false
+    (Hmac.verify ~key ~tag (msg ^ "x"));
+  let bad = String.mapi (fun i c -> if i = 0 then Char.chr (Char.code c lxor 1) else c) tag in
+  check_bool "tampered tag fails" false (Hmac.verify ~key ~tag:bad msg)
+
+let prop_sha256_incremental_split =
+  QCheck.Test.make ~name:"sha256 arbitrary split equals one-shot" ~count:100
+    QCheck.(pair small_string small_string)
+    (fun (a, b) ->
+      let ctx = Sha256.init () in
+      Sha256.feed ctx a;
+      Sha256.feed ctx b;
+      Sha256.finalize ctx = Sha256.digest (a ^ b))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mi6_util"
+    [
+      ( "fifo",
+        [
+          Alcotest.test_case "basic order and fullness" `Quick test_fifo_basic;
+          Alcotest.test_case "peek and clear" `Quick test_fifo_peek_clear;
+          Alcotest.test_case "enq on full raises" `Quick test_fifo_enq_full;
+          Alcotest.test_case "wraparound iteration" `Quick test_fifo_wraparound_iter;
+        ]
+        @ qsuite [ prop_fifo_model ] );
+      ( "bitvec",
+        [
+          Alcotest.test_case "set/get/clear" `Quick test_bitvec_basic;
+          Alcotest.test_case "bounds checking" `Quick test_bitvec_bounds;
+          Alcotest.test_case "disjointness" `Quick test_bitvec_disjoint;
+          Alcotest.test_case "full/clear_all" `Quick test_bitvec_full;
+        ]
+        @ qsuite [ prop_bitvec_roundtrip; prop_bitvec_copy_independent ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split decorrelated" `Quick test_rng_split_decorrelated;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "weighted choice" `Quick test_rng_choose_weights;
+          Alcotest.test_case "geometric mean" `Quick test_rng_geometric_mean;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counters" `Quick test_stats_counters;
+          Alcotest.test_case "per kilo" `Quick test_stats_per_kilo;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "cells and width check" `Quick test_table_cells;
+          Alcotest.test_case "render contains rows" `Quick test_table_contains_rows;
+        ] );
+      ( "crypto",
+        [
+          Alcotest.test_case "sha256 NIST vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "sha256 incremental" `Quick test_sha256_incremental;
+          Alcotest.test_case "sha256 finalize once" `Quick test_sha256_finalize_once;
+          Alcotest.test_case "hmac rfc4231 #2" `Quick test_hmac_vector;
+          Alcotest.test_case "hmac rfc4231 #6 long key" `Quick test_hmac_long_key;
+          Alcotest.test_case "hmac verify" `Quick test_hmac_verify;
+        ]
+        @ qsuite [ prop_sha256_incremental_split ] );
+    ]

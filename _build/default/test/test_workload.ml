@@ -1,0 +1,192 @@
+(* Tests for the synthetic SPEC workload models: determinism, stream
+   well-formedness, and that the per-benchmark parameters are realized in
+   the generated streams. *)
+
+open Mi6_ooo
+open Mi6_workload
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let make bench =
+  Synth.for_bench bench ~data_base:(64 * 1024 * 1024)
+    ~code_base:(32 * 1024 * 1024) ~kernel_base:(128 * 1024 * 1024)
+
+let take gen n = List.init n (fun _ -> Synth.next gen)
+
+let test_determinism () =
+  List.iter
+    (fun b ->
+      let a = take (make b) 20_000 in
+      let c = take (make b) 20_000 in
+      check_bool (Spec.name b ^ " deterministic") true (a = c))
+    [ Spec.Gcc; Spec.Astar; Spec.Xalancbmk ]
+
+let test_benchmarks_differ () =
+  let a = take (make Spec.Gcc) 5_000 in
+  let b = take (make Spec.Mcf) 5_000 in
+  check_bool "different benchmarks, different streams" true (a <> b)
+
+let test_stream_limit () =
+  let gen = make Spec.Hmmer in
+  let s = Synth.stream gen ~limit:100 in
+  let n = ref 0 in
+  let rec drain () =
+    match s () with
+    | Some _ ->
+      incr n;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check_int "limit respected" 100 !n;
+  check_bool "stays exhausted" true (s () = None)
+
+(* Count µop classes over a long window and check the parameter targets
+   are realized within tolerance. *)
+let census bench n =
+  let gen = make bench in
+  let loads = ref 0 and stores = ref 0 and branches = ref 0 in
+  let kernels = ref 0 and jumps = ref 0 in
+  for _ = 1 to n do
+    match (Synth.next gen).Uop.kind with
+    | Uop.Load _ -> incr loads
+    | Uop.Store _ -> incr stores
+    | Uop.Branch _ -> incr branches
+    | Uop.Jump _ -> incr jumps
+    | Uop.Enter_kernel -> incr kernels
+    | Uop.Exit_kernel | Uop.Alu _ -> ()
+  done;
+  (!loads, !stores, !branches, !jumps, !kernels)
+
+let test_instruction_mix () =
+  let n = 300_000 in
+  let p = Spec.params Spec.Gcc in
+  let loads, stores, _, _, _ = census Spec.Gcc n in
+  let close got want =
+    abs_float ((float_of_int got /. float_of_int n) -. want) < 0.08
+  in
+  check_bool "load fraction realized" true (close loads p.Spec.load_frac);
+  check_bool "store fraction realized" true (close stores p.Spec.store_frac)
+
+let test_syscall_rate () =
+  let n = 400_000 in
+  let p = Spec.params Spec.Xalancbmk in
+  let _, _, _, _, kernels = census Spec.Xalancbmk n in
+  let expected = n / p.Spec.syscall_every in
+  check_bool
+    (Printf.sprintf "syscall count %d near %d" kernels expected)
+    true
+    (abs (kernels - expected) <= max 3 (expected / 3))
+
+let test_control_flow_consistency () =
+  (* Outside the kernel (whose trace is synthetic), a taken branch or jump
+     must be followed by a µop at its target; a not-taken branch by
+     pc+4.  This guarantees the I-stream the core fetches is coherent. *)
+  let gen = make Spec.Sjeng in
+  let prev = ref None in
+  let ok = ref true in
+  for _ = 1 to 100_000 do
+    let u = Synth.next gen in
+    let in_kernel = u.Uop.pc >= 128 * 1024 * 1024 in
+    (match !prev with
+    | Some p when not in_kernel ->
+      let expected = Uop.next_pc p in
+      if u.Uop.pc <> expected then ok := false
+    | _ -> ());
+    (* Kernel µops and markers break the chain deliberately. *)
+    prev :=
+      (match u.Uop.kind with
+      | Uop.Enter_kernel | Uop.Exit_kernel -> None
+      | _ when in_kernel -> None
+      | _ -> Some u)
+  done;
+  check_bool "user-code control flow is self-consistent" true !ok
+
+let test_addresses_in_working_set () =
+  List.iter
+    (fun b ->
+      let p = Spec.params b in
+      let gen = make b in
+      let data_base = 64 * 1024 * 1024 in
+      let limit = data_base + (p.Spec.working_set_kb * 1024) + 4096 in
+      let ok = ref true in
+      for _ = 1 to 100_000 do
+        let u = Synth.next gen in
+        match u.Uop.kind with
+        | Uop.Load { addr } | Uop.Store { addr } ->
+          let in_data = addr >= data_base && addr < limit in
+          let in_kernel = addr >= 128 * 1024 * 1024 in
+          if not (in_data || in_kernel) then ok := false
+        | _ -> ()
+      done;
+      check_bool (Spec.name b ^ " addresses within footprint") true !ok)
+    [ Spec.Gcc; Spec.Libquantum; Spec.Mcf ]
+
+let test_chase_loads_are_dependent () =
+  (* mcf's pointer chasing must appear as loads whose source register is
+     their own destination (serial dependence). *)
+  let gen = make Spec.Mcf in
+  let dependent = ref 0 in
+  for _ = 1 to 100_000 do
+    let u = Synth.next gen in
+    match u.Uop.kind with
+    | Uop.Load _ when u.Uop.dst <> None && u.Uop.srcs = [ 18 ] -> incr dependent
+    | _ -> ()
+  done;
+  check_bool
+    (Printf.sprintf "mcf has many dependent loads (%d)" !dependent)
+    true (!dependent > 1_000)
+
+let test_all_benchmarks_parseable () =
+  List.iter
+    (fun b ->
+      let p = Spec.params b in
+      check_bool (Spec.name b ^ " fractions sane") true
+        (p.Spec.load_frac +. p.Spec.store_frac < 0.7
+        && p.Spec.stream_frac +. p.Spec.chase_frac +. p.Spec.hot_frac
+           +. p.Spec.stack_frac
+           <= 1.01
+        && p.Spec.working_set_kb > 0
+        && p.Spec.hot_set_kb <= p.Spec.working_set_kb);
+      check_bool (Spec.name b ^ " roundtrips by name") true
+        (Spec.of_name (Spec.name b) = Some b))
+    Spec.all
+
+(* Branch-rate property over every benchmark: realized branch fraction is
+   within a factor of the parameter (block geometry quantizes it). *)
+let prop_branch_rate =
+  QCheck.Test.make ~name:"branch rate tracks branch_frac" ~count:11
+    (QCheck.make (QCheck.Gen.oneofl Spec.all) ~print:Spec.name)
+    (fun b ->
+      let p = Spec.params b in
+      let _, _, branches, _, _ = census b 150_000 in
+      let rate = float_of_int branches /. 150_000.0 in
+      rate > p.Spec.branch_frac /. 2.5 && rate < p.Spec.branch_frac *. 1.5)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mi6_workload"
+    [
+      ( "stream",
+        [
+          Alcotest.test_case "deterministic" `Quick test_determinism;
+          Alcotest.test_case "benchmarks differ" `Quick test_benchmarks_differ;
+          Alcotest.test_case "limit" `Quick test_stream_limit;
+          Alcotest.test_case "control-flow consistency" `Quick
+            test_control_flow_consistency;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "instruction mix" `Quick test_instruction_mix;
+          Alcotest.test_case "syscall rate" `Quick test_syscall_rate;
+          Alcotest.test_case "addresses in footprint" `Quick
+            test_addresses_in_working_set;
+          Alcotest.test_case "dependent chase loads" `Quick
+            test_chase_loads_are_dependent;
+          Alcotest.test_case "all params sane" `Quick
+            test_all_benchmarks_parseable;
+        ]
+        @ qsuite [ prop_branch_rate ] );
+    ]
