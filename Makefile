@@ -1,0 +1,22 @@
+# Convenience wrapper around dune; `make ci` is what the CI workflow runs.
+
+.PHONY: all build test bench-smoke ci clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Short benchmark run that must produce parseable machine-readable output.
+bench-smoke:
+	dune exec bench/main.exe -- --fast fig5
+	dune exec bench/json_check.exe -- --require runs BENCH_run.json
+
+ci: build test bench-smoke
+
+clean:
+	dune clean
+	rm -f BENCH_run.json

@@ -1,0 +1,46 @@
+(* CI helper: exit 0 iff every argument file parses as JSON.  With
+   --require KEY, the top-level object must also contain KEY. *)
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let require, files =
+    let rec go acc_req acc_files = function
+      | "--require" :: k :: rest -> go (k :: acc_req) acc_files rest
+      | f :: rest -> go acc_req (f :: acc_files) rest
+      | [] -> (acc_req, List.rev acc_files)
+    in
+    go [] [] args
+  in
+  if files = [] then begin
+    prerr_endline "usage: json_check [--require KEY]... FILE...";
+    exit 2
+  end;
+  let fail = ref false in
+  List.iter
+    (fun file ->
+      match
+        let ic = open_in_bin file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        Mi6_obs.Json.of_string s
+      with
+      | exception Sys_error msg ->
+        Printf.eprintf "%s: %s\n" file msg;
+        fail := true
+      | exception Failure msg ->
+        Printf.eprintf "%s: invalid JSON: %s\n" file msg;
+        fail := true
+      | json ->
+        let missing =
+          List.filter
+            (fun k -> Mi6_obs.Json.member k json = None)
+            require
+        in
+        if missing <> [] then begin
+          Printf.eprintf "%s: missing key(s): %s\n" file
+            (String.concat ", " missing);
+          fail := true
+        end
+        else Printf.printf "%s: ok\n" file)
+    files;
+  exit (if !fail then 1 else 0)

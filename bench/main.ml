@@ -37,7 +37,7 @@ let result variant bench =
     Printf.eprintf "  [run] %-10s %-8s\r%!" (bench_name bench)
       (Config.variant_name variant);
     let r =
-      Tmachine.run_spec ~variant ~bench ~warmup:!warmup ~measure:!measure
+      Tmachine.run_spec ~variant ~bench ~warmup:!warmup ~measure:!measure ()
     in
     Hashtbl.add cache (variant, bench) r;
     r
@@ -368,7 +368,7 @@ let ablation () =
         in
         Tmachine.run_stream
           ~timing:(Config.timing ~cores:1 variant)
-          ~stream ~warmup:!warmup ~measure:!measure
+          ~stream ~warmup:!warmup ~measure:!measure ()
       in
       let ov colored =
         let base = run Config.Base colored in
@@ -407,7 +407,7 @@ let ablation () =
                  ~kernel_base:(Mi6_mem.Addr.region_base geometry 4)
              in
              Mi6_workload.Synth.stream gen ~limit:(!warmup + !measure))
-          ~warmup:!warmup ~measure:!measure
+          ~warmup:!warmup ~measure:!measure ()
       in
       let base = (result Config.Base b).Tmachine.cycles in
       let ov r =
@@ -459,7 +459,7 @@ let ablation () =
                     ~kernel_base:(Mi6_mem.Addr.region_base geometry 4)
                 in
                 Mi6_workload.Synth.stream gen ~limit:(!warmup + !measure))
-             ~warmup:!warmup ~measure:!measure)
+             ~warmup:!warmup ~measure:!measure ())
             .Tmachine.cycles
         in
         let base = mk Config.Base and miss = mk Config.Miss in
@@ -504,14 +504,14 @@ let multicore () =
     (fun (b0, b1) ->
       let solo b =
         (Tmachine.run_spec ~variant:Config.Base ~bench:b ~warmup:mw
-           ~measure:mm)
+           ~measure:mm ())
           .Tmachine.cycles
       in
       let s0 = solo b0 and s1 = solo b1 in
       let slowdowns timing =
         let r =
           Tmachine.run_multi ~timing ~benches:[| b0; b1 |] ~warmup:mw
-            ~measure:mm
+            ~measure:mm ()
         in
         ( 100.0 *. float_of_int (r.(0).Tmachine.cycles - s0) /. float_of_int s0,
           100.0 *. float_of_int (r.(1).Tmachine.cycles - s1) /. float_of_int s1
@@ -564,7 +564,7 @@ let micro () =
     let stats = Stats.create () in
     let links = [| Mi6_coherence.Link.create ~depth:4 |] in
     let dram =
-      Mi6_dram.Controller.constant ~latency:120 ~max_outstanding:24 ~stats
+      Mi6_dram.Controller.constant ~latency:120 ~max_outstanding:24 ~stats ()
     in
     let llc =
       Mi6_llc.Llc.create
@@ -610,6 +610,48 @@ let all_figs =
     ("multicore", multicore);
   ]
 
+(* Machine-readable record of every (variant, bench) run the harness
+   performed, for scripted regression checks on top of the printed
+   tables. *)
+let emit_run_json ~fast =
+  let open Mi6_obs in
+  let runs =
+    Hashtbl.fold
+      (fun (variant, bench) (r : Tmachine.result) acc ->
+        Json.Obj
+          [
+            ("bench", Json.String (bench_name bench));
+            ("variant", Json.String (Config.variant_name variant));
+            ("cycles", Json.Int r.Tmachine.cycles);
+            ("instrs", Json.Int r.Tmachine.instrs);
+            ("ipc", Json.Float (Tmachine.ipc r));
+            ("llc_mpki", Json.Float (Tmachine.mpki r "llc.misses"));
+          ]
+        :: acc)
+      cache []
+  in
+  (* Hashtbl.fold order is unspecified: sort for a stable file. *)
+  let key = function
+    | Json.Obj (("bench", Json.String b) :: ("variant", Json.String v) :: _) ->
+      (b, v)
+    | _ -> ("", "")
+  in
+  let runs = List.sort (fun a b -> compare (key a) (key b)) runs in
+  let doc =
+    Json.Obj
+      [
+        ("harness", Json.String "mi6 bench");
+        ("fast", Json.Bool fast);
+        ("warmup", Json.Int !warmup);
+        ("measure", Json.Int !measure);
+        ("runs", Json.List runs);
+      ]
+  in
+  let oc = open_out "BENCH_run.json" in
+  output_string oc (Json.to_string doc);
+  close_out oc;
+  Printf.printf "\nwrote BENCH_run.json (%d runs)\n%!" (List.length runs)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let fast = List.mem "--fast" args in
@@ -637,5 +679,6 @@ let () =
               None)
           wanted
     in
-    List.iter (fun (_, f) -> f ()) figs
+    List.iter (fun (_, f) -> f ()) figs;
+    emit_run_json ~fast
   end

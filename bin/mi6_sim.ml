@@ -36,6 +36,88 @@ let measure =
   Arg.(value & opt int 1_000_000 & info [ "measure" ] ~doc:"Measured µops.")
 
 (* ------------------------------------------------------------------ *)
+(* Observability options (shared by run and multi)                     *)
+(* ------------------------------------------------------------------ *)
+
+let trace_file =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON trace of the (last) run to                  $(docv); open it in chrome://tracing or Perfetto.")
+
+let trace_text_file =
+  Arg.(value & opt (some string) None
+       & info [ "trace-text" ] ~docv:"FILE"
+           ~doc:"Write a compact text dump of the (last) run's trace to                  $(docv).")
+
+let trace_filter =
+  let cat_conv =
+    let parse s =
+      match Mi6_obs.Trace.category_of_name s with
+      | Some c -> Ok c
+      | None -> Error (`Msg (Printf.sprintf "unknown trace category %S" s))
+    in
+    Arg.conv
+      (parse, fun ppf c ->
+        Format.pp_print_string ppf (Mi6_obs.Trace.category_name c))
+  in
+  Arg.(value & opt (some (list cat_conv)) None
+       & info [ "trace-filter" ] ~docv:"CATS"
+           ~doc:"Trace only these comma-separated categories                  (core,l1,llc,dram,ptw,purge); default all.")
+
+let stats_json_file =
+  Arg.(value & opt (some string) None
+       & info [ "stats-json" ] ~docv:"FILE"
+           ~doc:"Write the full metrics registry (counters + histograms) of                  the (last) run to $(docv) as nested JSON.")
+
+let stats_csv_file =
+  Arg.(value & opt (some string) None
+       & info [ "stats-csv" ] ~docv:"FILE"
+           ~doc:"Write the metrics registry as flat name,value CSV.")
+
+let tracing_wanted ~trace_file ~trace_text_file =
+  trace_file <> None || trace_text_file <> None
+
+let make_trace ~trace_file ~trace_text_file ~trace_filter =
+  if tracing_wanted ~trace_file ~trace_text_file then
+    Mi6_obs.Trace.create ~capacity:(1 lsl 20) ?filter:trace_filter ()
+  else Mi6_obs.Trace.null
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let export_trace trace ~trace_file ~trace_text_file =
+  (match trace_file with
+  | Some path ->
+    write_file path (Mi6_obs.Json.to_string (Mi6_obs.Trace.to_chrome_json trace));
+    Printf.printf "trace: %d events -> %s (chrome://tracing)
+%!"
+      (Mi6_obs.Trace.length trace) path
+  | None -> ());
+  match trace_text_file with
+  | Some path ->
+    write_file path (Format.asprintf "%a" Mi6_obs.Trace.pp trace);
+    Printf.printf "trace: %d events -> %s (text)
+%!"
+      (Mi6_obs.Trace.length trace) path
+  | None -> ()
+
+let export_metrics metrics ~stats_json_file ~stats_csv_file =
+  (match stats_json_file with
+  | Some path ->
+    write_file path (Mi6_obs.Json.to_string (Mi6_obs.Metrics.to_json metrics));
+    Printf.printf "metrics -> %s
+%!" path
+  | None -> ());
+  match stats_csv_file with
+  | Some path ->
+    write_file path (Mi6_obs.Metrics.to_csv metrics);
+    Printf.printf "metrics -> %s
+%!" path
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* run                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -60,24 +142,47 @@ let run_cmd =
          & info [ "b"; "bench" ] ~doc:"Benchmarks (comma separated).")
   in
   let variants =
-    Arg.(value & opt (list variant_conv) [ Config.Base ]
+    Arg.(value & opt (some (list variant_conv)) None
          & info [ "v"; "variant" ] ~doc:"Processor variants (comma separated).")
   in
   let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Dump all counters.") in
-  let run benches variants warmup measure verbose =
+  let run benches variants warmup measure verbose trace_file trace_text_file
+      trace_filter stats_json_file stats_csv_file =
+    let tracing = tracing_wanted ~trace_file ~trace_text_file in
+    let variants =
+      match variants with
+      | Some vs -> vs
+      | None ->
+        (* When tracing, default to the full MI6 variant so the trace
+           shows purges and the secure LLC structures in action. *)
+        if tracing then [ Config.Fpma ] else [ Config.Base ]
+    in
+    let trace = make_trace ~trace_file ~trace_text_file ~trace_filter in
+    let last = ref None in
     List.iter
       (fun bench ->
         List.iter
           (fun variant ->
-            let r = Tmachine.run_spec ~variant ~bench ~warmup ~measure in
+            (* One trace per run: the exported file holds the last
+               (bench, variant) pair. *)
+            Mi6_obs.Trace.reset trace;
+            let r = Tmachine.run_spec ~trace ~variant ~bench ~warmup ~measure () in
+            last := Some r;
             print_result ~label:(Mi6_workload.Spec.name bench) ~variant r
               ~verbose)
           variants)
-      benches
+      benches;
+    if tracing then export_trace trace ~trace_file ~trace_text_file;
+    match !last with
+    | Some r ->
+      export_metrics r.Tmachine.metrics ~stats_json_file ~stats_csv_file
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"run SPEC models on processor variants")
-    Term.(const run $ benches $ variants $ warmup $ measure $ verbose)
+    Term.(const run $ benches $ variants $ warmup $ measure $ verbose
+          $ trace_file $ trace_text_file $ trace_filter $ stats_json_file
+          $ stats_csv_file)
 
 (* ------------------------------------------------------------------ *)
 (* multi                                                               *)
@@ -97,25 +202,32 @@ let multi_cmd =
              ~doc:"Use the MI6 secure machine (Figure 3 LLC + purge) instead \
                    of BASE.")
   in
-  let run benches secure warmup measure =
+  let run benches secure warmup measure trace_file trace_text_file
+      trace_filter stats_json_file stats_csv_file =
     let benches = Array.of_list benches in
     let cores = Array.length benches in
     let timing =
       if secure then Config.secure_multicore ~cores
       else Config.timing ~cores Config.Base
     in
-    let rs = Tmachine.run_multi ~timing ~benches ~warmup ~measure in
+    let trace = make_trace ~trace_file ~trace_text_file ~trace_filter in
+    let rs = Tmachine.run_multi ~trace ~timing ~benches ~warmup ~measure () in
     Array.iteri
       (fun i r ->
         Printf.printf "core %d: %-11s cycles=%-10d ipc=%.3f (%s machine)\n" i
           (Mi6_workload.Spec.name benches.(i))
           r.Tmachine.cycles (Tmachine.ipc r)
           (if secure then "MI6" else "BASE"))
-      rs
+      rs;
+    if tracing_wanted ~trace_file ~trace_text_file then
+      export_trace trace ~trace_file ~trace_text_file;
+    if Array.length rs > 0 then
+      export_metrics rs.(0).Tmachine.metrics ~stats_json_file ~stats_csv_file
   in
   Cmd.v
     (Cmd.info "multi" ~doc:"multiprogrammed multicore run")
-    Term.(const run $ benches $ secure $ warmup $ measure)
+    Term.(const run $ benches $ secure $ warmup $ measure $ trace_file
+          $ trace_text_file $ trace_filter $ stats_json_file $ stats_csv_file)
 
 (* ------------------------------------------------------------------ *)
 (* attack                                                              *)

@@ -46,7 +46,7 @@ let () =
   print_endline "\n[2] purge on the out-of-order core";
   let stats = Stats.create () in
   let links = [| Link.create ~depth:4; Link.create ~depth:4 |] in
-  let dram = Controller.constant ~latency:120 ~max_outstanding:24 ~stats in
+  let dram = Controller.constant ~latency:120 ~max_outstanding:24 ~stats () in
   let llc =
     Llc.create (Llc.default_config ~cores:2) ~security:Llc.mi6_security ~links
       ~dram ~stats

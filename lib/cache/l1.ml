@@ -18,6 +18,7 @@ type mshr = {
   m_to : Msi.t;
   m_way : int; (* reserved way for the fill *)
   m_set : int;
+  m_born : int; (* alloc cycle, for the miss-latency histogram *)
   mutable m_waiters : int list; (* request ids, completion order *)
 }
 
@@ -29,6 +30,8 @@ type t = {
   repl : Replacement.t;
   link : Link.t;
   stats : Stats.t;
+  trace : Trace.t;
+  miss_lat : Histogram.t; (* demand-miss request-to-fill latency *)
   name : string;
   input : pending Fifo.t;
   mshrs : mshr option array;
@@ -37,13 +40,15 @@ type t = {
   mutable flush_cursor : int; (* line index being flushed: set * ways + way *)
 }
 
-let create cfg ~link ~stats ~name =
+let create ?(trace = Trace.null) cfg ~link ~stats ~name =
   {
     cfg;
     array = Sram.create ~sets:cfg.sets ~ways:cfg.ways;
     repl = Replacement.pseudo_random ~ways:cfg.ways ~sets:cfg.sets ~seed:cfg.seed;
     link;
     stats;
+    trace;
+    miss_lat = Histogram.create ();
     name;
     input = Fifo.create ~capacity:4;
     mshrs = Array.make cfg.mshrs None;
@@ -127,6 +132,9 @@ let process_parent t ~now =
     | Some (idx, m) ->
       Sram.fill t.array ~set:m.m_set ~way:m.m_way ~tag:line { state = to_s };
       Replacement.touch t.repl ~set:m.m_set ~way:m.m_way;
+      if m.m_waiters <> [] then Histogram.add t.miss_lat (now - m.m_born);
+      if Trace.active t.trace Trace.L1 then
+        Trace.emit t.trace ~now (Trace.Cache_fill { cache = t.name; line });
       List.iter
         (fun id -> Queue.add (id, now + t.cfg.hit_latency) t.completions)
         (List.rev m.m_waiters);
@@ -150,7 +158,7 @@ let process_parent t ~now =
 
 (* Next-line prefetch: a waiter-less miss for [line], issued only when it
    costs nothing that a demand access needs right now. *)
-let try_prefetch t line =
+let try_prefetch t ~now line =
   let set = set_of t line in
   if
     Sram.find t.array ~set ~tag:line = None
@@ -174,7 +182,7 @@ let try_prefetch t line =
         t.mshrs.(idx) <-
           Some
             { m_line = line; m_to = Msi.S; m_way = way; m_set = set;
-              m_waiters = [] };
+              m_born = now; m_waiters = [] };
         Fifo.enq t.link.Link.rq { Msg.line; from_s = Msi.I; to_s = Msi.S })
   end
 
@@ -265,6 +273,9 @@ let process_input t ~now =
             if ok then begin
               ignore (Fifo.deq t.input);
               Stats.incr t.stats (t.name ^ ".misses");
+              if Trace.active t.trace Trace.L1 then
+                Trace.emit t.trace ~now
+                  (Trace.Cache_miss { cache = t.name; line });
               t.mshrs.(idx) <-
                 Some
                   {
@@ -272,10 +283,11 @@ let process_input t ~now =
                     m_to = needed;
                     m_way = way;
                     m_set = set;
+                    m_born = now;
                     m_waiters = [ id ];
                   };
               Fifo.enq t.link.Link.rq { Msg.line; from_s; to_s = needed };
-              if t.cfg.prefetch_next_line then try_prefetch t (line + 1)
+              if t.cfg.prefetch_next_line then try_prefetch t ~now (line + 1)
             end
           end)))
 
@@ -335,3 +347,5 @@ let flush_step t =
     true
 
 let replacement_signature t = Replacement.state_signature t.repl
+
+let miss_latency t = t.miss_lat

@@ -34,7 +34,8 @@ val default_config : config
 
 type t
 
-val create : config -> link:Link.t -> stats:Stats.t -> name:string -> t
+val create :
+  ?trace:Trace.t -> config -> link:Link.t -> stats:Stats.t -> name:string -> t
 val config : t -> config
 
 (** [can_accept t] — the core may issue a request this cycle. *)
@@ -79,3 +80,7 @@ val valid_lines : t -> int
 (** [replacement_signature t] exposes the replacement-policy state hash
     (tests check purge restores the public value). *)
 val replacement_signature : t -> int
+
+(** Demand-miss latency distribution (request accepted to fill), in
+    cycles.  Prefetch fills are excluded. *)
+val miss_latency : t -> Histogram.t

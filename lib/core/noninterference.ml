@@ -41,7 +41,7 @@ let victim_core = 0
 let attacker_base_line = Addr.region_base geometry 2 / Addr.line_bytes
 let victim_base_line = Addr.region_base geometry 3 / Addr.line_bytes
 
-let make_hierarchy setup ~dram =
+let make_hierarchy ?trace setup ~dram =
   let stats = Stats.create () in
   let llc_cfg =
     {
@@ -52,7 +52,8 @@ let make_hierarchy setup ~dram =
       strict_bank_stall = setup.strict_bank_stall;
     }
   in
-  Hierarchy.create ~llc:llc_cfg ~security:setup.security ~dram ~stats ()
+  Hierarchy.create ?trace ~llc:llc_cfg ~security:setup.security ~dram ~stats
+    ()
 
 let const_dram = Hierarchy.Const_dram { latency = 120; max_outstanding = 24 }
 
@@ -166,6 +167,59 @@ let dram_bank_channel ~reordering ~victim_same_bank =
   List.init 24 (fun k ->
       timed_access ~while_waiting:victim_driver h ~core:attacker_core
         ~line:(attacker_line (k + 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Victim-timeline capture                                             *)
+(* ------------------------------------------------------------------ *)
+
+let victim_timeline setup ~attacker_floods =
+  let trace = Trace.create ~capacity:(1 lsl 16) ~filter:[ Trace.Llc ] () in
+  let h = make_hierarchy ~trace setup ~dram:const_dram in
+  (* Roles swapped relative to the other experiments: the victim sits on
+     the HIGHER core index, where the baseline mux's lower-core-first
+     unfairness can starve it whenever the attacker is busy.  MI6's
+     round-robin arbiter must make the position irrelevant. *)
+  let vcore = 1 and acore = 0 in
+  let next_attacker = ref 0 in
+  let attacker_driver () =
+    if attacker_floods && Hierarchy.can_accept h ~core:acore then begin
+      incr next_attacker;
+      Hierarchy.request h ~core:acore
+        ~line:(attacker_base_line + (!next_attacker * 517))
+        ~store:false ~id:!next_attacker
+    end;
+    ignore (Hierarchy.take_completions h ~core:acore)
+  in
+  (* The victim runs a fixed access script: bursts of 4 concurrent
+     misses (so it occupies shared LLC structures for whole windows, not
+     single cycles), 8 rounds. *)
+  for round = 0 to 7 do
+    let issued = ref 0 and completed = ref 0 in
+    let budget = ref 100_000 in
+    while !completed < 4 do
+      decr budget;
+      if !budget = 0 then failwith "Noninterference: victim burst stuck";
+      if !issued < 4 && Hierarchy.can_accept h ~core:vcore then begin
+        incr issued;
+        Hierarchy.request h ~core:vcore
+          ~line:(victim_base_line + (round * 8) + (!issued * 131))
+          ~store:false ~id:!issued
+      end;
+      attacker_driver ();
+      Hierarchy.tick h;
+      completed :=
+        !completed + List.length (Hierarchy.take_completions h ~core:vcore)
+    done
+  done;
+  (* The victim's view: every cycle-stamped LLC event attributed to its
+     core, rendered to stable strings. *)
+  List.filter_map
+    (fun (cycle, ev) ->
+      match Trace.event_core ev with
+      | Some c when c = vcore ->
+        Some (Printf.sprintf "%d %s" cycle (Trace.event_label ev))
+      | _ -> None)
+    (Trace.events trace)
 
 let leaks observations =
   match observations with

@@ -49,6 +49,14 @@ val mshr_channel : llc_setup -> victim_floods:bool -> int list
     victim hammers either the attacker's DRAM bank or a different one. *)
 val dram_bank_channel : reordering:bool -> victim_same_bank:bool -> int list
 
+(** [victim_timeline setup ~attacker_floods] — the victim runs a fixed
+    access script while the attacker either floods the hierarchy with its
+    own misses or stays idle; returns the victim's cycle-stamped LLC
+    event timeline (arbiter grants, MSHR alloc/free, upgrade-queue
+    sends), captured with {!Mi6_obs.Trace}.  Non-interference demands
+    this timeline be bit-identical across attacker behaviours. *)
+val victim_timeline : llc_setup -> attacker_floods:bool -> string list
+
 (** [leaks observations] — true when any two observations differ (the
     attacker can distinguish victim behaviours). *)
 val leaks : int list list -> bool

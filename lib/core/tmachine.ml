@@ -21,38 +21,73 @@ let pt_base_line ~core =
   Addr.region_base Addr.default_regions (region_block core + 4)
   / Addr.line_bytes
 
-let create (timing : Config.timing) ~streams ~stats =
+let create ?(trace = Trace.null) (timing : Config.timing) ~streams ~stats =
   let n = Array.length streams in
   let ports = 2 * n in
   if timing.Config.llc.Llc.cores <> ports then
     invalid_arg "Tmachine.create: llc config port count mismatch";
   let links = Array.init ports (fun _ -> Link.create ~depth:4) in
   let dram =
-    Controller.constant ~latency:timing.Config.dram_latency
-      ~max_outstanding:timing.Config.dram_outstanding ~stats
+    Controller.constant ~trace ~latency:timing.Config.dram_latency
+      ~max_outstanding:timing.Config.dram_outstanding ~stats ()
   in
   let llc =
-    Llc.create timing.Config.llc ~security:timing.Config.llc_security ~links
-      ~dram ~stats
+    Llc.create ~trace timing.Config.llc ~security:timing.Config.llc_security
+      ~links ~dram ~stats
   in
   let l1ds =
     Array.init n (fun i ->
-        L1.create timing.Config.l1 ~link:links.(2 * i) ~stats
+        L1.create ~trace timing.Config.l1 ~link:links.(2 * i) ~stats
           ~name:(Printf.sprintf "l1d.%d" i))
   in
   let l1is =
     Array.init n (fun i ->
-        L1.create timing.Config.l1
+        L1.create ~trace timing.Config.l1
           ~link:links.((2 * i) + 1)
           ~stats
           ~name:(Printf.sprintf "l1i.%d" i))
   in
   let cores =
     Array.init n (fun i ->
-        Core.create timing.Config.core ~l1i:l1is.(i) ~l1d:l1ds.(i)
-          ~stream:streams.(i) ~stats ~pt_base_line:(pt_base_line ~core:i))
+        Core.create ~trace ~id:i timing.Config.core ~l1i:l1is.(i)
+          ~l1d:l1ds.(i) ~stream:streams.(i) ~stats
+          ~pt_base_line:(pt_base_line ~core:i))
   in
   { cores; l1ds; l1is; llc; clock = 0 }
+
+(* Registry over every component's counters and distributions; values are
+   read at export time, so build it once and export after the run. *)
+let metrics m ~stats =
+  let reg = Metrics.create () in
+  Metrics.add_stats reg ~scope:"" stats;
+  Array.iteri
+    (fun i c ->
+      let name fmt = Printf.sprintf fmt i in
+      Metrics.add_histogram reg
+        ~name:(name "core.%d.load_latency")
+        (Core.load_latency c);
+      Metrics.add_histogram reg
+        ~name:(name "core.%d.purge_cycles")
+        (Core.purge_latency c);
+      Metrics.add_histogram reg
+        ~name:(name "core.%d.walk_latency")
+        (Core.walk_latency c))
+    m.cores;
+  Array.iteri
+    (fun i l ->
+      Metrics.add_histogram reg
+        ~name:(Printf.sprintf "l1d.%d.miss_latency" i)
+        (L1.miss_latency l))
+    m.l1ds;
+  Array.iteri
+    (fun i l ->
+      Metrics.add_histogram reg
+        ~name:(Printf.sprintf "l1i.%d.miss_latency" i)
+        (L1.miss_latency l))
+    m.l1is;
+  Metrics.add_histogram reg ~name:"llc.mshr_occupancy"
+    (Llc.mshr_occupancy m.llc);
+  reg
 
 let now t = t.clock
 let core t i = t.cores.(i)
@@ -79,7 +114,12 @@ let run t ~max_cycles =
   if not (finished t) then failwith "Tmachine.run: cycle budget exhausted";
   t.clock - start
 
-type result = { cycles : int; instrs : int; stats : Stats.t }
+type result = {
+  cycles : int;
+  instrs : int;
+  stats : Stats.t;
+  metrics : Metrics.t;
+}
 
 let ipc r = if r.cycles = 0 then 0.0 else float_of_int r.instrs /. float_of_int r.cycles
 
@@ -87,10 +127,10 @@ let mpki r counter =
   if r.instrs = 0 then 0.0
   else 1000.0 *. float_of_int (Stats.get r.stats counter) /. float_of_int r.instrs
 
-let run_stream ~timing ~stream ~warmup ~measure =
+let run_stream ?trace ~timing ~stream ~warmup ~measure () =
   ignore measure;
   let stats = Stats.create () in
-  let m = create timing ~streams:[| stream |] ~stats in
+  let m = create ?trace timing ~streams:[| stream |] ~stats in
   let c = m.cores.(0) in
   let snap = ref None in
   let budget = 400_000_000 in
@@ -100,20 +140,22 @@ let run_stream ~timing ~stream ~warmup ~measure =
       snap := Some (m.clock, Core.committed_instructions c, Stats.copy stats)
   done;
   if not (finished m) then failwith "Tmachine.run_stream: cycle budget exhausted";
+  let finish ~cycles ~instrs ~stats:window =
+    let reg = metrics m ~stats:window in
+    Metrics.set_int reg ~name:"run.cycles" cycles;
+    Metrics.set_int reg ~name:"run.instrs" instrs;
+    { cycles; instrs; stats = window; metrics = reg }
+  in
   match !snap with
   | None ->
     (* Warmup longer than the stream: measure everything. *)
-    {
-      cycles = m.clock;
-      instrs = Core.committed_instructions c;
-      stats = Stats.copy stats;
-    }
+    finish ~cycles:m.clock
+      ~instrs:(Core.committed_instructions c)
+      ~stats:(Stats.copy stats)
   | Some (cycle0, instrs0, base) ->
-    {
-      cycles = m.clock - cycle0;
-      instrs = Core.committed_instructions c - instrs0;
-      stats = Stats.diff stats ~baseline:base;
-    }
+    finish ~cycles:(m.clock - cycle0)
+      ~instrs:(Core.committed_instructions c - instrs0)
+      ~stats:(Stats.diff stats ~baseline:base)
 
 let spec_stream ~core ~bench ~limit =
   let gen =
@@ -122,22 +164,22 @@ let spec_stream ~core ~bench ~limit =
   in
   Mi6_workload.Synth.stream gen ~limit
 
-let run_spec ~variant ~bench ~warmup ~measure =
+let run_spec ?trace ~variant ~bench ~warmup ~measure () =
   let timing = Config.timing ~cores:1 variant in
   let stream = spec_stream ~core:0 ~bench ~limit:(warmup + measure) in
-  run_stream ~timing ~stream ~warmup ~measure
+  run_stream ?trace ~timing ~stream ~warmup ~measure ()
 
 (* Multiprogrammed run: one SPEC model per core, each confined to its own
    region block — the multiprocessor methodology the paper could not fit
    on its FPGA (Section 7.2). *)
-let run_multi ~timing ~benches ~warmup ~measure =
+let run_multi ?trace ~timing ~benches ~warmup ~measure () =
   let n = Array.length benches in
   let stats = Stats.create () in
   let streams =
     Array.init n (fun i ->
         spec_stream ~core:i ~bench:benches.(i) ~limit:(warmup + measure))
   in
-  let m = create timing ~streams ~stats in
+  let m = create ?trace timing ~streams ~stats in
   let snaps = Array.make n None in
   let fins = Array.make n None in
   let budget = 600_000_000 in
@@ -153,10 +195,12 @@ let run_multi ~timing ~benches ~warmup ~measure =
       m.cores
   done;
   if not (finished m) then failwith "Tmachine.run_multi: budget exhausted";
+  let reg = metrics m ~stats in
   Array.init n (fun i ->
       let cycle0, instr0 = Option.value snaps.(i) ~default:(0, 0) in
       let cycle1, instr1 =
         Option.value fins.(i)
           ~default:(m.clock, Core.committed_instructions m.cores.(i))
       in
-      { cycles = cycle1 - cycle0; instrs = instr1 - instr0; stats })
+      { cycles = cycle1 - cycle0; instrs = instr1 - instr0; stats;
+        metrics = reg })

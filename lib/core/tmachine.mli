@@ -10,10 +10,15 @@
 
 type t
 
-(** [create timing ~streams ~stats] builds a machine with one core per
-    stream. *)
+(** [create ?trace timing ~streams ~stats] builds a machine with one core
+    per stream.  [trace] (default {!Trace.null}) is shared by every
+    component for cycle-stamped event capture. *)
 val create :
-  Config.timing -> streams:(unit -> Uop.t option) array -> stats:Stats.t -> t
+  ?trace:Trace.t ->
+  Config.timing ->
+  streams:(unit -> Uop.t option) array ->
+  stats:Stats.t ->
+  t
 
 val tick : t -> unit
 val now : t -> int
@@ -29,6 +34,9 @@ type result = {
   cycles : int;  (** measured-window cycles *)
   instrs : int;  (** measured-window committed instructions *)
   stats : Stats.t;  (** measured-window counter deltas *)
+  metrics : Metrics.t;
+      (** full-machine registry: the counter table plus per-core load/
+          purge/walk, per-L1 miss-latency, and LLC-occupancy histograms *)
 }
 
 val ipc : result -> float
@@ -40,20 +48,24 @@ val mpki : result -> string -> float
     variant machine: [warmup] µops untimed, then [measure] µops
     measured. *)
 val run_spec :
+  ?trace:Trace.t ->
   variant:Config.variant ->
   bench:Mi6_workload.Spec.bench ->
   warmup:int ->
   measure:int ->
+  unit ->
   result
 
 (** [run_stream ~timing ~stream ~warmup ~measure] — same measurement
     protocol for an arbitrary µop stream (ablations, tests).  [stream]
     must end after [warmup + measure] µops. *)
 val run_stream :
+  ?trace:Trace.t ->
   timing:Config.timing ->
   stream:(unit -> Uop.t option) ->
   warmup:int ->
   measure:int ->
+  unit ->
   result
 
 (** [run_multi ~timing ~benches ~warmup ~measure] — a multiprogrammed
@@ -65,8 +77,10 @@ val run_stream :
     The shared [stats] table is returned in each result (counters are
     machine-wide). *)
 val run_multi :
+  ?trace:Trace.t ->
   timing:Config.timing ->
   benches:Mi6_workload.Spec.bench array ->
   warmup:int ->
   measure:int ->
+  unit ->
   result array

@@ -4,11 +4,11 @@ type t =
   | Const of Dram.t * int
   | Reorder of Fr_fcfs.t * int
 
-let constant ~latency ~max_outstanding ~stats =
-  Const (Dram.create ~latency ~max_outstanding ~stats, max_outstanding)
+let constant ?trace ~latency ~max_outstanding ~stats () =
+  Const (Dram.create ?trace ~latency ~max_outstanding ~stats (), max_outstanding)
 
-let reordering cfg ~stats =
-  Reorder (Fr_fcfs.create cfg ~stats, cfg.Fr_fcfs.max_outstanding)
+let reordering ?trace cfg ~stats =
+  Reorder (Fr_fcfs.create ?trace cfg ~stats, cfg.Fr_fcfs.max_outstanding)
 
 let can_accept = function
   | Const (d, _) -> Dram.can_accept d

@@ -5,8 +5,10 @@ type req = { read : bool; line : int; tag : int }
 
 type t
 
-val constant : latency:int -> max_outstanding:int -> stats:Stats.t -> t
-val reordering : Fr_fcfs.config -> stats:Stats.t -> t
+val constant :
+  ?trace:Trace.t -> latency:int -> max_outstanding:int -> stats:Stats.t -> unit -> t
+
+val reordering : ?trace:Trace.t -> Fr_fcfs.config -> stats:Stats.t -> t
 val can_accept : t -> bool
 val accept : t -> now:int -> req -> unit
 val tick : t -> now:int -> respond:(tag:int -> line:int -> unit) -> unit

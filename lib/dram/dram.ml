@@ -6,16 +6,18 @@ type t = {
   lat : int;
   max_outstanding : int;
   stats : Stats.t;
+  trace : Trace.t;
   q : inflight Fifo.t;
   mutable accepted_at : int; (* cycle of last accept, for 1/cycle limit *)
 }
 
-let create ~latency ~max_outstanding ~stats =
+let create ?(trace = Trace.null) ~latency ~max_outstanding ~stats () =
   if latency <= 0 || max_outstanding <= 0 then invalid_arg "Dram.create";
   {
     lat = latency;
     max_outstanding;
     stats;
+    trace;
     q = Fifo.create ~capacity:max_outstanding;
     accepted_at = -1;
   }
@@ -30,6 +32,9 @@ let accept t ~now req =
   if t.accepted_at = now then failwith "Dram.accept: two requests in one cycle";
   t.accepted_at <- now;
   Stats.incr t.stats (if req.read then "dram.reads" else "dram.writes");
+  if Trace.active t.trace Trace.Dram then
+    Trace.emit t.trace ~now
+      (Trace.Dram_cmd { bank = 0; read = req.read; row_hit = false; line = req.line });
   Fifo.enq t.q { req; done_at = now + t.lat }
 
 let tick t ~now ~respond =

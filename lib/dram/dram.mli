@@ -17,7 +17,8 @@ type req = { read : bool; line : int; tag : int }
 
 type t
 
-val create : latency:int -> max_outstanding:int -> stats:Stats.t -> t
+val create :
+  ?trace:Trace.t -> latency:int -> max_outstanding:int -> stats:Stats.t -> unit -> t
 val latency : t -> int
 
 (** [can_accept t] — backpressure signal ([max_outstanding] reached or a

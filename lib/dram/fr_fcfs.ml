@@ -28,6 +28,7 @@ type bank = {
 type t = {
   cfg : config;
   stats : Stats.t;
+  trace : Trace.t;
   banks : bank array;
   mutable queue : waiting list; (* arrival order, oldest first *)
   mutable seq : int;
@@ -35,10 +36,11 @@ type t = {
   ready : (int * req) Fifo.t; (* done_at, req — completed, pending respond *)
 }
 
-let create cfg ~stats =
+let create ?(trace = Trace.null) cfg ~stats =
   {
     cfg;
     stats;
+    trace;
     banks =
       Array.init cfg.banks (fun _ ->
           { open_row = None; busy_until = 0; current = None });
@@ -97,6 +99,10 @@ let schedule t ~now =
           in
           if row_hit then Stats.incr t.stats "dram.row_hits"
           else Stats.incr t.stats "dram.row_misses";
+          if Trace.active t.trace Trace.Dram then
+            Trace.emit t.trace ~now
+              (Trace.Dram_cmd
+                 { bank = bi; read = w.w_req.read; row_hit; line = w.w_req.line });
           bank.open_row <- Some (row_of t.cfg ~line:w.w_req.line);
           bank.current <- Some (w.w_req, now + lat)
       end)

@@ -21,7 +21,7 @@ val default_config : config
 
 type t
 
-val create : config -> stats:Stats.t -> t
+val create : ?trace:Trace.t -> config -> stats:Stats.t -> t
 val can_accept : t -> bool
 val accept : t -> now:int -> req -> unit
 val tick : t -> now:int -> respond:(tag:int -> line:int -> unit) -> unit

@@ -9,20 +9,21 @@ type t = {
   completions : (int * int) list ref array; (* reversed *)
 }
 
-let create ?(l1 = L1.default_config) ?(link_depth = 4) ~llc:llc_cfg ~security
-    ~dram ~stats () =
+let create ?(trace = Trace.null) ?(l1 = L1.default_config) ?(link_depth = 4)
+    ~llc:llc_cfg ~security ~dram ~stats () =
   let n = llc_cfg.Llc.cores in
   let links = Array.init n (fun _ -> Link.create ~depth:link_depth) in
   let dram_ctrl =
     match dram with
     | Const_dram { latency; max_outstanding } ->
-      Controller.constant ~latency ~max_outstanding ~stats
-    | Reorder_dram cfg -> Controller.reordering cfg ~stats
+      Controller.constant ~trace ~latency ~max_outstanding ~stats ()
+    | Reorder_dram cfg -> Controller.reordering ~trace cfg ~stats
   in
-  let llc = Llc.create llc_cfg ~security ~links ~dram:dram_ctrl ~stats in
+  let llc = Llc.create ~trace llc_cfg ~security ~links ~dram:dram_ctrl ~stats in
   let l1s =
     Array.init n (fun i ->
-        L1.create l1 ~link:links.(i) ~stats ~name:(Printf.sprintf "l1.%d" i))
+        L1.create ~trace l1 ~link:links.(i) ~stats
+          ~name:(Printf.sprintf "l1.%d" i))
   in
   { l1s; llc; clock = 0; completions = Array.init n (fun _ -> ref []) }
 

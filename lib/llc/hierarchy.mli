@@ -14,6 +14,7 @@ type dram_kind =
 type t
 
 val create :
+  ?trace:Trace.t ->
   ?l1:L1.config ->
   ?link_depth:int ->
   llc:Llc.config ->

@@ -103,9 +103,14 @@ type t = {
   dq : int Fifo.t;
   mutable dq_pending_read : int option; (* baseline 2-cycle wb+read dequeue *)
   port_used : bool array; (* per-core outgoing port, per cycle *)
+  (* Observability *)
+  trace : Trace.t;
+  mutable tnow : int; (* current cycle, for probes deep in the pipeline *)
+  mutable live : int; (* allocated MSHR entries (avoids a per-tick scan) *)
+  occ_hist : Histogram.t; (* MSHR occupancy, sampled once per tick *)
 }
 
-let create cfg ~security ~links ~dram ~stats =
+let create ?(trace = Trace.null) cfg ~security ~links ~dram ~stats =
   if Array.length links <> cfg.cores then
     invalid_arg "Llc.create: one link per core required";
   if cfg.mshrs mod cfg.mshr_banks <> 0 then
@@ -133,7 +138,13 @@ let create cfg ~security ~links ~dram ~stats =
     dq = Fifo.create ~capacity:cfg.mshrs;
     dq_pending_read = None;
     port_used = Array.make cfg.cores false;
+    trace;
+    tnow = 0;
+    live = 0;
+    occ_hist = Histogram.create ();
   }
+
+let mshr_occupancy t = t.occ_hist
 
 let entry t idx =
   match t.entries.(idx) with
@@ -202,6 +213,10 @@ let alloc_mshr t ~core ~line ~to_s =
           }
         in
         t.entries.(i) <- Some e;
+        t.live <- t.live + 1;
+        if Trace.active t.trace Trace.Llc then
+          Trace.emit t.trace ~now:t.tnow
+            (Trace.Mshr_alloc { core; idx = i; line });
         Some i
       end
       else go (i + 1)
@@ -245,7 +260,11 @@ let park_on t ~blocker ~parked =
 let free_entry t idx =
   let e = entry t idx in
   List.iter (fun w -> enqueue_retry t w) e.e_blocked;
-  t.entries.(idx) <- None
+  if Trace.active t.trace Trace.Llc then
+    Trace.emit t.trace ~now:t.tnow
+      (Trace.Mshr_free { core = e.e_core; idx });
+  t.entries.(idx) <- None;
+  t.live <- t.live - 1
 
 (* ------------------------------------------------------------------ *)
 (* Directory / replacement bookkeeping                                 *)
@@ -490,15 +509,33 @@ let take_core_candidate t core =
           Stats.incr t.stats "llc.mshr_alloc_stalls";
           None)
 
+let msg_kind = function
+  | M_creq _ -> "req"
+  | M_retry _ -> "retry"
+  | M_cresp _ -> "resp"
+  | M_dram _ -> "dram"
+
+let msg_core t = function
+  | M_creq idx | M_retry idx | M_dram idx -> (entry t idx).e_core
+  | M_cresp (c, _) -> c
+
 let enter_pipeline t ~now =
-  let admit msg = Fifo.enq t.pipe (now + t.cfg.pipeline_latency, msg) in
+  let admit msg =
+    if Trace.active t.trace Trace.Llc then
+      Trace.emit t.trace ~now
+        (Trace.Arb_grant { core = msg_core t msg; kind = msg_kind msg });
+    Fifo.enq t.pipe (now + t.cfg.pipeline_latency, msg)
+  in
   if t.sec.round_robin_arbiter then begin
     (* Cycle T admits only core T mod N; an idle slot is wasted
        (Section 5.4.3). *)
     let core = now mod t.cfg.cores in
     match take_core_candidate t core with
     | Some msg -> admit msg
-    | None -> Stats.incr t.stats "llc.arb_idle_slots"
+    | None ->
+      Stats.incr t.stats "llc.arb_idle_slots";
+      if Trace.active t.trace Trace.Llc then
+        Trace.emit t.trace ~now (Trace.Arb_idle { core })
   end
   else begin
     (* Baseline two-level mux: message-type priority, then core index. *)
@@ -618,6 +655,9 @@ let try_send_response t idx =
     Fifo.enq t.links.(c).Link.p2c
       (Msg.Upgrade_resp { line = e.e_line; to_s = e.e_to });
     Stats.incr t.stats "llc.responses_sent";
+    if Trace.active t.trace Trace.Llc then
+      Trace.emit t.trace ~now:t.tnow
+        (Trace.Uq_send { core = c; line = e.e_line });
     t.port_used.(c) <- true;
     e.e_locks_way <- false;
     free_entry t idx;
@@ -681,6 +721,9 @@ let dq_dequeue t ~now =
                pipeline as a pure miss (Figure 3). *)
             e.e_retry <- true;
             Stats.incr t.stats "llc.dq_retries";
+            if Trace.active t.trace Trace.Llc then
+              Trace.emit t.trace ~now
+                (Trace.Dq_retry { core = e.e_core; idx });
             enqueue_retry t idx
           end
           else begin
@@ -696,6 +739,8 @@ let dq_dequeue t ~now =
 (* ------------------------------------------------------------------ *)
 
 let tick t ~now =
+  t.tnow <- now;
+  Histogram.add t.occ_hist t.live;
   Array.fill t.port_used 0 (Array.length t.port_used) false;
   downgrade_logic t;
   uq_dequeue t;

@@ -58,6 +58,7 @@ val default_config : cores:int -> config
 type t
 
 val create :
+  ?trace:Trace.t ->
   config ->
   security:security ->
   links:Link.t array ->
@@ -78,6 +79,9 @@ val probe : t -> line:int -> bool
 
 (** [occupancy t] is the number of valid lines. *)
 val occupancy : t -> int
+
+(** MSHR-occupancy distribution, one sample per tick. *)
+val mshr_occupancy : t -> Histogram.t
 
 (** [free_mshrs_for t ~core ~line] — allocation headroom visible to a
     core's next request (tests of the MSHR channels). *)

@@ -1,0 +1,228 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* JSON has no NaN/infinity tokens; clamp them to representable values. *)
+let float_repr f =
+  if Float.is_nan f then "0"
+  else if f = Float.infinity then "1e308"
+  else if f = Float.neg_infinity then "-1e308"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape buf s
+  | List vs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        to_buffer buf v)
+      vs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape buf k;
+        Buffer.add_char buf ':';
+        to_buffer buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (if !pos >= n then fail "unterminated escape"
+           else
+             match s.[!pos] with
+             | '"' -> Buffer.add_char buf '"'
+             | '\\' -> Buffer.add_char buf '\\'
+             | '/' -> Buffer.add_char buf '/'
+             | 'n' -> Buffer.add_char buf '\n'
+             | 'r' -> Buffer.add_char buf '\r'
+             | 't' -> Buffer.add_char buf '\t'
+             | 'b' -> Buffer.add_char buf '\b'
+             | 'f' -> Buffer.add_char buf '\012'
+             | 'u' ->
+               if !pos + 4 >= n then fail "truncated \\u escape";
+               let hex = String.sub s (!pos + 1) 4 in
+               let code =
+                 try int_of_string ("0x" ^ hex)
+                 with _ -> fail "bad \\u escape"
+               in
+               (* Decoded as a raw byte for ASCII, '?' otherwise — the
+                  exporters never emit non-ASCII. *)
+               Buffer.add_char buf (if code < 128 then Char.chr code else '?');
+               pos := !pos + 4
+             | c -> fail (Printf.sprintf "bad escape \\%c" c));
+          advance ();
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail ("bad number " ^ tok))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected , or } in object"
+        in
+        Obj (fields [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elems (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected , or ] in array"
+        in
+        List (elems [])
+      end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with Parse (p, msg) -> failwith (Printf.sprintf "Json.of_string: %s at %d" msg p)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None

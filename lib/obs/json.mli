@@ -1,0 +1,25 @@
+(** Minimal JSON values: just enough for the observability exporters
+    (Chrome traces, metrics snapshots, bench results) without an external
+    dependency.  The parser exists so tests and CI can check that every
+    export stays machine-readable. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [to_buffer buf v] appends the compact serialization of [v]. *)
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+
+(** [of_string s] parses one JSON value (surrounding whitespace allowed).
+    Raises [Failure] with a position on malformed input. *)
+val of_string : string -> t
+
+(** [member name v] is the field [name] of object [v], if any. *)
+val member : string -> t -> t option

@@ -1,0 +1,111 @@
+module Stats = Mi6_util.Stats
+
+type t = {
+  mutable stats : (string * Stats.t) list; (* scope, table; newest first *)
+  mutable hists : (string * Histogram.t) list;
+  mutable ints : (string * int) list;
+}
+
+let create () = { stats = []; hists = []; ints = [] }
+let add_stats t ~scope stats = t.stats <- (scope, stats) :: t.stats
+let add_histogram t ~name h = t.hists <- (name, h) :: t.hists
+
+let set_int t ~name v =
+  t.ints <- (name, v) :: List.remove_assoc name t.ints
+
+let qualify scope name = if scope = "" then name else scope ^ "." ^ name
+
+let counters t =
+  let of_stats =
+    List.concat_map
+      (fun (scope, s) ->
+        List.map (fun (n, v) -> (qualify scope n, v)) (Stats.to_assoc s))
+      t.stats
+  in
+  List.sort compare (of_stats @ t.ints)
+
+let histograms t = List.sort compare t.hists
+
+(* ------------------------------------------------------------------ *)
+(* Nested JSON                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A trie over name segments; a node holds at most one leaf value (under
+   the reserved key "_" if it also has children). *)
+type node = { mutable leaf : Json.t option; mutable kids : (string * node) list }
+
+let fresh () = { leaf = None; kids = [] }
+
+let rec insert node segs v =
+  match segs with
+  | [] -> node.leaf <- Some v
+  | s :: rest ->
+    let child =
+      match List.assoc_opt s node.kids with
+      | Some c -> c
+      | None ->
+        let c = fresh () in
+        node.kids <- node.kids @ [ (s, c) ];
+        c
+    in
+    insert child rest v
+
+let rec node_to_json node =
+  match (node.leaf, node.kids) with
+  | Some v, [] -> v
+  | leaf, kids ->
+    let fields =
+      (match leaf with Some v -> [ ("_", v) ] | None -> [])
+      @ List.map (fun (k, c) -> (k, node_to_json c)) kids
+    in
+    Json.Obj (List.sort compare fields)
+
+let to_json t =
+  let root = fresh () in
+  List.iter
+    (fun (name, v) -> insert root (String.split_on_char '.' name) (Json.Int v))
+    (counters t);
+  let base = node_to_json root in
+  let hists =
+    Json.Obj
+      (List.map (fun (n, h) -> (n, Histogram.to_json h)) (histograms t))
+  in
+  match base with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("histograms", hists) ])
+  | other -> Json.Obj [ ("counters", other); ("histograms", hists) ]
+
+(* ------------------------------------------------------------------ *)
+(* Flat exports                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let flat_rows t =
+  counters t
+  @ List.concat_map
+      (fun (n, h) ->
+        [
+          (n ^ ".count", Histogram.count h);
+          (n ^ ".mean", int_of_float (Float.round (Histogram.mean h)));
+          (n ^ ".p50", Histogram.p50 h);
+          (n ^ ".p95", Histogram.p95 h);
+          (n ^ ".p99", Histogram.p99 h);
+          (n ^ ".max", Histogram.max h);
+        ])
+      (histograms t)
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "name,value\n";
+  List.iter
+    (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "%s,%d\n" n v))
+    (flat_rows t);
+  Buffer.contents buf
+
+let pp ppf t =
+  let rows = counters t in
+  let width =
+    List.fold_left (fun w (n, _) -> max w (String.length n)) 24 rows
+  in
+  List.iter (fun (n, v) -> Format.fprintf ppf "%-*s %d@." width n v) rows;
+  List.iter
+    (fun (n, h) -> Format.fprintf ppf "%-*s %a@." width n Histogram.pp h)
+    (histograms t)

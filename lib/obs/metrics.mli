@@ -1,0 +1,42 @@
+(** Hierarchical metrics registry.
+
+    Wraps the flat {!Mi6_util.Stats} counter tables (whose dotted names
+    already encode a hierarchy: [llc.misses], [l1d.0.misses]) together
+    with {!Histogram}s and ad-hoc gauges under per-component scopes, and
+    snapshots the whole thing as JSON (nested by name segment) or CSV
+    (flat [name,value] rows). *)
+
+type t
+
+val create : unit -> t
+
+(** [add_stats t ~scope stats] registers a counter table.  Counter [c]
+    appears as [scope.c] ([c] unchanged when [scope] is [""]).  Values are
+    read at export time, so registering before a run is fine. *)
+val add_stats : t -> scope:string -> Mi6_util.Stats.t -> unit
+
+(** [add_histogram t ~name h] registers a latency/occupancy
+    distribution. *)
+val add_histogram : t -> name:string -> Histogram.t -> unit
+
+(** [set_int t ~name v] records a standalone gauge (e.g. measured-window
+    cycles). *)
+val set_int : t -> name:string -> int -> unit
+
+(** All counters and gauges, fully qualified and sorted by name. *)
+val counters : t -> (string * int) list
+
+(** Registered histograms, sorted by name. *)
+val histograms : t -> (string * Histogram.t) list
+
+(** Nested-object snapshot: counters and gauges split on ['.'] into a
+    tree, histograms (summaries + buckets) under a top-level
+    ["histograms"] key. *)
+val to_json : t -> Json.t
+
+(** Flat [name,value] CSV (header row included); histograms contribute
+    [name.count], [name.mean], [name.p50], [name.p95], [name.p99] and
+    [name.max] rows. *)
+val to_csv : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -79,6 +79,13 @@ type t = {
   mutable purge_requested : bool;
   mutable committed : int;
   mutable now : int;
+  (* Observability *)
+  trace : Trace.t;
+  id : int; (* core index, for trace attribution *)
+  mutable purge_started : int;
+  lq_issued_at : int array; (* per LQ slot: cycle the load issued *)
+  load_lat : Histogram.t; (* load issue-to-complete, cache path only *)
+  purge_lat : Histogram.t; (* full purge duration *)
 }
 
 and rob_ref = { pre_uop : Uop.t; pre_mispredict : bool }
@@ -87,7 +94,8 @@ and rob_ref = { pre_uop : Uop.t; pre_mispredict : bool }
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create cfg ~l1i ~l1d ~stream ~stats ~pt_base_line =
+let create ?(trace = Trace.null) ?(id = 0) cfg ~l1i ~l1d ~stream ~stats
+    ~pt_base_line =
   let tcache = Trans_cache.create ~entries_per_level:24 ~levels:2 in
   let free_list = Queue.create () in
   for p = 32 to cfg.Core_config.phys_regs - 1 do
@@ -106,7 +114,9 @@ let create cfg ~l1i ~l1d ~stream ~stats ~pt_base_line =
     dtlb = Tlb.create Tlb.l1_config;
     l2tlb = Tlb.create Tlb.l2_config;
     tcache;
-    ptw = Ptw.create ~max_walks:2 ~tcache ~pt_base_line ~table_window_lines:4096;
+    ptw =
+      Ptw.create ~trace ~core:id ~max_walks:2 ~tcache ~pt_base_line
+        ~table_window_lines:4096 ();
     fetch_q = Fifo.create ~capacity:16;
     stream_done = false;
     fetch_stall_until = 0;
@@ -141,10 +151,35 @@ let create cfg ~l1i ~l1d ~stream ~stats ~pt_base_line =
     purge_requested = false;
     committed = 0;
     now = 0;
+    trace;
+    id;
+    purge_started = 0;
+    lq_issued_at = Array.make cfg.Core_config.lq_entries 0;
+    load_lat = Histogram.create ();
+    purge_lat = Histogram.create ();
   }
 
 let committed_instructions t = t.committed
 let purging t = t.purge <> Pp_none
+let load_latency t = t.load_lat
+let purge_latency t = t.purge_lat
+let walk_latency t = Ptw.walk_latency t.ptw
+
+let purge_kind_name = function
+  | Pk_enter -> "enter"
+  | Pk_exit -> "exit"
+  | Pk_external -> "external"
+
+let begin_purge t kind =
+  t.purge <- Pp_quiesce;
+  t.purge_kind <- kind;
+  t.purge_started <- t.now;
+  if Trace.active t.trace Trace.Purge then begin
+    Trace.emit t.trace ~now:t.now
+      (Trace.Purge_begin { core = t.id; kind = purge_kind_name kind });
+    Trace.emit t.trace ~now:t.now
+      (Trace.Purge_phase { core = t.id; phase = "quiesce" })
+  end
 
 let predictor_signature t =
   (Tournament.state_signature t.tournament * 31)
@@ -441,8 +476,7 @@ let rename_stage t =
         t.committed <- t.committed + 1;
         Stats.incr t.stats "core.traps";
         if t.cfg.Core_config.flush_on_trap then begin
-          t.purge <- Pp_quiesce;
-          t.purge_kind <-
+          begin_purge t
             (match u.Uop.kind with
             | Uop.Enter_kernel -> Pk_enter
             | _ -> Pk_exit);
@@ -582,6 +616,9 @@ let issue_mem t idx =
     in
     if not (translate_d t ~addr ~k) then e.state <- Rs_waiting (* retry *)
   | Uop.Load { addr } ->
+    (match e.lq_slot with
+    | Some s -> t.lq_issued_at.(s) <- t.now
+    | None -> ());
     let line = addr lsr 6 in
     let k () =
       if forwardable t line then begin
@@ -731,6 +768,9 @@ let purge_stage t =
     if backend_quiescent t then begin
       L1.begin_flush t.l1i;
       L1.begin_flush t.l1d;
+      if Trace.active t.trace Trace.Purge then
+        Trace.emit t.trace ~now:t.now
+          (Trace.Purge_phase { core = t.id; phase = "flush" });
       t.purge <- Pp_flush t.now
     end
   | Pp_flush started ->
@@ -772,6 +812,11 @@ let purge_stage t =
       t.last_fetch_line <- -1;
       t.last_fetch_page <- -1;
       Stats.incr t.stats "core.purges";
+      let dur = t.now - t.purge_started in
+      Histogram.add t.purge_lat dur;
+      if Trace.active t.trace Trace.Purge then
+        Trace.emit t.trace ~now:t.now
+          (Trace.Purge_end { core = t.id; cycles = dur });
       t.purge <- Pp_none
     end
 
@@ -786,6 +831,9 @@ let purge_stage t =
 let tick t ~now =
   t.now <- now;
   Stats.incr t.stats "core.cycles";
+  if now land 255 = 0 && Trace.active t.trace Trace.Core then
+    Trace.emit t.trace ~now
+      (Trace.Counter { core = t.id; name = "rob"; value = t.rob_count });
   run_events t;
   match t.purge with
   | Pp_quiesce | Pp_flush _ ->
@@ -802,8 +850,7 @@ let tick t ~now =
   | Pp_none ->
     if t.purge_requested then begin
       t.purge_requested <- false;
-      t.purge <- Pp_quiesce;
-      t.purge_kind <- Pk_external;
+      begin_purge t Pk_external;
       purge_stage t
     end
     else begin
@@ -822,7 +869,7 @@ let tick t ~now =
 
 let mem_complete t ~now ~id =
   t.now <- max t.now now;
-  if id land Ptw.id_tag <> 0 then Ptw.mem_response t.ptw ~id
+  if id land Ptw.id_tag <> 0 then Ptw.mem_response ~now t.ptw ~id
   else if id land sb_tag <> 0 then t.sb.(id land lnot sb_tag) <- false
   else begin
     (* Load completion: find the ROB entry owning this LQ slot. *)
@@ -835,6 +882,7 @@ let mem_complete t ~now ~id =
           found := true;
           ignore i;
           e.state <- Rs_done;
+          Histogram.add t.load_lat (now - t.lq_issued_at.(id));
           set_dst_ready_at t e now
         | _ -> ())
       t.rob;

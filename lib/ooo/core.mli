@@ -23,6 +23,8 @@
 type t
 
 val create :
+  ?trace:Trace.t ->
+  ?id:int ->
   Core_config.t ->
   l1i:L1.t ->
   l1d:L1.t ->
@@ -62,3 +64,13 @@ val debug_quiescence : t -> string
     by the machine model when descheduling an enclave outside a trap
     boundary.  Takes effect like a trap-boundary purge. *)
 val request_purge : t -> unit
+
+(** Load issue-to-completion latency (cache-path loads; forwarded loads
+    excluded), in cycles. *)
+val load_latency : t -> Histogram.t
+
+(** Purge durations (quiesce start to machine-clean), in cycles. *)
+val purge_latency : t -> Histogram.t
+
+(** Page-walk start-to-finish latency, in cycles. *)
+val walk_latency : t -> Histogram.t

@@ -2,6 +2,7 @@ let id_tag = 1 lsl 40
 
 type walk = {
   vpage : int;
+  started_at : int;
   mutable levels_left : int list; (* levels still to read, root first *)
   mutable waiting_mem : bool;
   mutable reads : int;
@@ -14,16 +15,25 @@ type t = {
   pt_base_line : int;
   window : int;
   slots : walk option array;
+  trace : Trace.t;
+  core : int; (* owning core, for trace attribution *)
+  walk_lat : Histogram.t; (* walk start-to-finish latency *)
 }
 
-let create ~max_walks ~tcache ~pt_base_line ~table_window_lines =
+let create ?(trace = Trace.null) ?(core = 0) ~max_walks ~tcache ~pt_base_line
+    ~table_window_lines () =
   {
     max_walks;
     tcache;
     pt_base_line;
     window = table_window_lines;
     slots = Array.make max_walks None;
+    trace;
+    core;
+    walk_lat = Histogram.create ();
   }
+
+let walk_latency t = t.walk_lat
 
 let active_walks t =
   Array.fold_left (fun n s -> n + match s with Some _ -> 1 | None -> 0) 0 t.slots
@@ -44,8 +54,10 @@ let pte_line t ~level ~vpage =
   (* 8 PTEs per 64-byte line. *)
   t.pt_base_line + ((2 - level) * t.window) + (p / 8 mod t.window)
 
-let start t ~vpage ~on_done =
+let start ?(now = 0) t ~vpage ~on_done =
   if not (can_start t) then failwith "Ptw.start: no free walk slot";
+  if Trace.active t.trace Trace.Ptw then
+    Trace.emit t.trace ~now (Trace.Walk_start { core = t.core; vpage });
   (* Translation cache: skipping levels whose prefix is cached. *)
   let levels_left =
     if Trans_cache.lookup t.tcache ~level:1 ~prefix:(prefix ~level:1 ~vpage)
@@ -63,7 +75,9 @@ let start t ~vpage ~on_done =
   in
   let slot = find 0 in
   t.slots.(slot) <-
-    Some { vpage; levels_left; waiting_mem = false; reads = 0; on_done }
+    Some
+      { vpage; started_at = now; levels_left; waiting_mem = false; reads = 0;
+        on_done }
 
 let tick t ~issue =
   (* Issue at most one PTE read per cycle, lowest slot first. *)
@@ -84,7 +98,7 @@ let tick t ~issue =
       | _ -> ())
     t.slots
 
-let mem_response t ~id =
+let mem_response ?(now = 0) t ~id =
   let slot = id land lnot id_tag in
   match t.slots.(slot) with
   | None -> failwith "Ptw.mem_response: no walk in slot"
@@ -102,6 +116,10 @@ let mem_response t ~id =
           ~prefix:(prefix ~level:2 ~vpage:w.vpage);
         Trans_cache.insert t.tcache ~level:1
           ~prefix:(prefix ~level:1 ~vpage:w.vpage);
+        Histogram.add t.walk_lat (now - w.started_at);
+        if Trace.active t.trace Trace.Ptw then
+          Trace.emit t.trace ~now
+            (Trace.Walk_end { core = t.core; vpage = w.vpage; reads = w.reads });
         t.slots.(slot) <- None;
         w.on_done ~reads:w.reads
       end)

@@ -19,25 +19,33 @@ type t
     [table_window_lines] cache lines starting at
     [pt_base_line + l * table_window_lines]. *)
 val create :
+  ?trace:Trace.t ->
+  ?core:int ->
   max_walks:int ->
   tcache:Trans_cache.t ->
   pt_base_line:int ->
   table_window_lines:int ->
+  unit ->
   t
 
 val can_start : t -> bool
 val active_walks : t -> int
 
-(** [start t ~vpage ~on_done] begins a walk; [on_done ~reads] fires when
-    it finishes.  Raises if [can_start] is false. *)
-val start : t -> vpage:int -> on_done:(reads:int -> unit) -> unit
+(** [start ?now t ~vpage ~on_done] begins a walk; [on_done ~reads] fires
+    when it finishes.  [now] stamps the walk for the latency histogram and
+    trace (observability only; default 0).  Raises if [can_start] is
+    false. *)
+val start : ?now:int -> t -> vpage:int -> on_done:(reads:int -> unit) -> unit
 
 (** [tick t ~issue] gives the walker one cycle; it calls
     [issue ~line ~id] at most once ([issue] returns acceptance). *)
 val tick : t -> issue:(line:int -> id:int -> bool) -> unit
 
-(** [mem_response t ~id] — a PTE read completed. *)
-val mem_response : t -> id:int -> unit
+(** [mem_response ?now t ~id] — a PTE read completed. *)
+val mem_response : ?now:int -> t -> id:int -> unit
+
+(** Walk start-to-finish latency distribution, in cycles. *)
+val walk_latency : t -> Histogram.t
 
 (** [pte_line t ~level ~vpage] — exposed for tests: the cache line the
     walker reads at [level] for [vpage]. *)

@@ -35,7 +35,14 @@ let diff t ~baseline =
   Hashtbl.iter (fun k r -> set d k (!r - get baseline k)) t;
   d
 
+let to_assoc t = List.map (fun name -> (name, get t name)) (names t)
+
 let pp ppf t =
+  (* Column width follows the longest counter name so long names stay
+     aligned instead of shoving their values out of the column. *)
+  let width =
+    List.fold_left (fun w (name, _) -> max w (String.length name)) 24 (to_assoc t)
+  in
   List.iter
-    (fun name -> Format.fprintf ppf "%-40s %d@." name (get t name))
-    (names t)
+    (fun (name, v) -> Format.fprintf ppf "%-*s %d@." width name v)
+    (to_assoc t)

@@ -41,4 +41,10 @@ val copy : t -> t
     (counters absent from [baseline] count from zero). *)
 val diff : t -> baseline:t -> t
 
+(** [to_assoc t] is every counter as [(name, value)], sorted by name —
+    the one-call accessor for exporters (no [names]+[get] pairing). *)
+val to_assoc : t -> (string * int) list
+
+(** Aligned two-column dump; the name column is sized to the longest
+    counter name. *)
 val pp : Format.formatter -> t -> unit

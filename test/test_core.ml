@@ -565,7 +565,7 @@ let test_run_multi_completes () =
   let rs =
     Tmachine.run_multi ~timing
       ~benches:[| Mi6_workload.Spec.Hmmer; Mi6_workload.Spec.Gobmk |]
-      ~warmup:20_000 ~measure:50_000
+      ~warmup:20_000 ~measure:50_000 ()
   in
   check_int "two results" 2 (Array.length rs);
   Array.iter
@@ -579,13 +579,13 @@ let test_multi_slower_than_solo () =
      solo run on the same variant. *)
   let solo =
     Tmachine.run_spec ~variant:Config.Base ~bench:Mi6_workload.Spec.Gcc
-      ~warmup:20_000 ~measure:60_000
+      ~warmup:20_000 ~measure:60_000 ()
   in
   let multi =
     Tmachine.run_multi
       ~timing:(Config.timing ~cores:2 Config.Base)
       ~benches:[| Mi6_workload.Spec.Gcc; Mi6_workload.Spec.Libquantum |]
-      ~warmup:20_000 ~measure:60_000
+      ~warmup:20_000 ~measure:60_000 ()
   in
   check_bool
     (Printf.sprintf "shared run not faster (%d vs solo %d)"

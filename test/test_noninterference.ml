@@ -126,6 +126,40 @@ let prop_mi6_mshr_invariant =
         ~victim_floods:floods
       = reference)
 
+(* ------------------------------------------------------------------ *)
+(* Victim-timeline equality (trace capture)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The strongest statement of non-interference the simulator can make:
+   not just that the victim's end-to-end latencies match, but that its
+   entire cycle-stamped LLC event timeline — every arbiter grant, MSHR
+   allocation/release, and upgrade-queue send — is bit-identical whether
+   the attacker floods the hierarchy or sits idle. *)
+
+let test_timeline_mi6_identical () =
+  let quiet =
+    Noninterference.victim_timeline Noninterference.mi6_setup
+      ~attacker_floods:false
+  in
+  let noisy =
+    Noninterference.victim_timeline Noninterference.mi6_setup
+      ~attacker_floods:true
+  in
+  Alcotest.(check bool) "timeline non-empty" true (quiet <> []);
+  Alcotest.(check (list string)) "victim timeline bit-identical" quiet noisy
+
+let test_timeline_baseline_differs () =
+  let quiet =
+    Noninterference.victim_timeline Noninterference.baseline_setup
+      ~attacker_floods:false
+  in
+  let noisy =
+    Noninterference.victim_timeline Noninterference.baseline_setup
+      ~attacker_floods:true
+  in
+  Alcotest.(check bool) "baseline victim timeline perturbed" true
+    (quiet <> noisy)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -156,6 +190,13 @@ let () =
             test_ablation_arbiter_required;
           Alcotest.test_case "set partitioning required" `Quick
             test_ablation_partitioning_required;
+        ] );
+      ( "victim_timeline",
+        [
+          Alcotest.test_case "mi6 bit-identical" `Quick
+            test_timeline_mi6_identical;
+          Alcotest.test_case "baseline perturbed" `Quick
+            test_timeline_baseline_differs;
         ] );
       ( "properties",
         qsuite [ prop_mi6_invariant_over_victims; prop_mi6_mshr_invariant ] );

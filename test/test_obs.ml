@@ -1,0 +1,254 @@
+(* Tests for the observability subsystem: log2 histograms, the trace
+   ring buffer and its Chrome export, the JSON printer/parser, and the
+   metrics registry. *)
+
+open Mi6_obs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist_empty () =
+  let h = Histogram.create () in
+  check_int "count" 0 (Histogram.count h);
+  check_int "sum" 0 (Histogram.sum h);
+  check_int "p50 of empty" 0 (Histogram.p50 h);
+  check_int "p99 of empty" 0 (Histogram.p99 h);
+  check_int "max of empty" 0 (Histogram.max h);
+  Alcotest.(check (float 1e-9)) "mean of empty" 0.0 (Histogram.mean h)
+
+let test_hist_single () =
+  let h = Histogram.create () in
+  Histogram.add h 37;
+  check_int "count" 1 (Histogram.count h);
+  (* Every quantile of a single sample is that sample (the bucket upper
+     bound is clamped to the recorded max). *)
+  check_int "p50" 37 (Histogram.p50 h);
+  check_int "p95" 37 (Histogram.p95 h);
+  check_int "p99" 37 (Histogram.p99 h);
+  check_int "min" 37 (Histogram.min h);
+  check_int "max" 37 (Histogram.max h)
+
+let test_hist_bucket_boundaries () =
+  (* Bucket 0 holds exactly {0}; bucket i holds [2^(i-1), 2^i). *)
+  check_int "0" 0 (Histogram.bucket_of 0);
+  check_int "1" 1 (Histogram.bucket_of 1);
+  check_int "2" 2 (Histogram.bucket_of 2);
+  check_int "3" 2 (Histogram.bucket_of 3);
+  check_int "4" 3 (Histogram.bucket_of 4);
+  check_int "7" 3 (Histogram.bucket_of 7);
+  check_int "8" 4 (Histogram.bucket_of 8);
+  check_int "1023" 10 (Histogram.bucket_of 1023);
+  check_int "1024" 11 (Histogram.bucket_of 1024);
+  check_int "max_int lands in last bucket" (Histogram.nbuckets - 1)
+    (Histogram.bucket_of max_int);
+  (* lo/hi are consistent with bucket_of at both edges of every bucket. *)
+  for i = 1 to 40 do
+    let lo = Histogram.bucket_lo i and hi = Histogram.bucket_hi i in
+    check_int (Printf.sprintf "lo of bucket %d" i) i (Histogram.bucket_of lo);
+    check_int (Printf.sprintf "hi of bucket %d" i) i (Histogram.bucket_of hi)
+  done
+
+let test_hist_quantiles_uniform () =
+  let h = Histogram.create () in
+  for v = 1 to 1000 do
+    Histogram.add h v
+  done;
+  check_int "count" 1000 (Histogram.count h);
+  check_int "sum" 500500 (Histogram.sum h);
+  (* Log2 buckets: quantiles are upper bounds of the holding bucket, so
+     p50 of 1..1000 is in [500, 512) -> reported 511. *)
+  check_int "p50 bucket hi" 511 (Histogram.p50 h);
+  (* p99 rank 990 falls in the [512, 1024) bucket, clamped to max. *)
+  check_int "p99 clamped to max" 1000 (Histogram.p99 h);
+  check_int "min" 1 (Histogram.min h);
+  check_int "max" 1000 (Histogram.max h)
+
+let test_hist_negative_clamps () =
+  let h = Histogram.create () in
+  Histogram.add h (-5);
+  check_int "negative clamps to 0" 1 (Histogram.count h);
+  check_int "stored as 0" 0 (Histogram.max h)
+
+let test_hist_merge_reset () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.add a 10;
+  Histogram.add b 100;
+  Histogram.merge ~into:a b;
+  check_int "merged count" 2 (Histogram.count a);
+  check_int "merged max" 100 (Histogram.max a);
+  Histogram.reset a;
+  check_int "reset count" 0 (Histogram.count a)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let ev k = Trace.Arb_grant { core = k land 1; kind = "req" }
+
+let test_trace_ring_overflow () =
+  let t = Trace.create ~capacity:8 () in
+  for k = 0 to 19 do
+    Trace.emit t ~now:k (ev k)
+  done;
+  check_int "length capped at capacity" 8 (Trace.length t);
+  check_int "dropped oldest" 12 (Trace.dropped t);
+  (* Survivors are exactly the 8 newest, oldest first. *)
+  let cycles = List.map fst (Trace.events t) in
+  Alcotest.(check (list int)) "newest retained, in order"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    cycles
+
+let test_trace_filter () =
+  let t = Trace.create ~capacity:16 ~filter:[ Trace.Purge ] () in
+  check_bool "purge active" true (Trace.active t Trace.Purge);
+  check_bool "llc filtered out" false (Trace.active t Trace.Llc);
+  Trace.emit t ~now:1 (ev 0);
+  Trace.emit t ~now:2 (Trace.Purge_begin { core = 0; kind = "enter" });
+  check_int "only purge recorded" 1 (Trace.length t)
+
+let test_trace_null_disabled () =
+  let t = Trace.null in
+  check_bool "never active" false (Trace.active t Trace.Llc);
+  Trace.emit t ~now:1 (ev 0);
+  check_int "emit is a no-op" 0 (Trace.length t)
+
+let test_trace_reset () =
+  let t = Trace.create ~capacity:4 () in
+  for k = 0 to 9 do
+    Trace.emit t ~now:k (ev k)
+  done;
+  Trace.reset t;
+  check_int "empty after reset" 0 (Trace.length t);
+  check_int "drops zeroed" 0 (Trace.dropped t)
+
+let test_trace_chrome_json () =
+  let t = Trace.create ~capacity:64 () in
+  Trace.emit t ~now:5 (Trace.Arb_grant { core = 1; kind = "req" });
+  Trace.emit t ~now:6 (Trace.Purge_begin { core = 0; kind = "enter" });
+  Trace.emit t ~now:90 (Trace.Purge_end { core = 0; cycles = 84 });
+  Trace.emit t ~now:7 (Trace.Counter { core = 0; name = "rob"; value = 12 });
+  let json = Trace.to_chrome_json t in
+  (* The export must round-trip through our own parser. *)
+  let reparsed = Json.of_string (Json.to_string json) in
+  let events =
+    match Json.member "traceEvents" reparsed with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  check_int "one trace-event per emitted event" 4 (List.length events);
+  let phases =
+    List.filter_map
+      (fun e ->
+        match Json.member "ph" e with Some (Json.String p) -> Some p | _ -> None)
+      events
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "instant, begin/end pair, counter"
+    [ "B"; "C"; "E"; "i" ] phases
+
+let test_trace_event_labels_stable () =
+  check_str "arb label" "arb_grant core=1 kind=req"
+    (Trace.event_label (Trace.Arb_grant { core = 1; kind = "req" }));
+  check_str "mshr label" "mshr_alloc core=0 idx=3 line=0x2a"
+    (Trace.event_label (Trace.Mshr_alloc { core = 0; idx = 3; line = 42 }))
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("b", Json.List [ Json.Bool true; Json.Null; Json.Float 2.5 ]);
+        ("c\"d", Json.String "line\nbreak");
+      ]
+  in
+  Alcotest.(check bool) "roundtrip" true
+    (Json.of_string (Json.to_string v) = v)
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "parsed garbage %S" s))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2" ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_scoping_and_export () =
+  let m = Metrics.create () in
+  let s = Mi6_util.Stats.create () in
+  Mi6_util.Stats.add s "misses" 7;
+  Metrics.add_stats m ~scope:"llc" s;
+  Metrics.set_int m ~name:"run.cycles" 123;
+  let h = Histogram.create () in
+  Histogram.add h 4;
+  Metrics.add_histogram m ~name:"core.0.load_latency" h;
+  Alcotest.(check (list (pair string int)))
+    "qualified + sorted counters"
+    [ ("llc.misses", 7); ("run.cycles", 123) ]
+    (Metrics.counters m);
+  let json = Json.of_string (Json.to_string (Metrics.to_json m)) in
+  (match Json.member "llc" json with
+  | Some (Json.Obj [ ("misses", Json.Int 7) ]) -> ()
+  | _ -> Alcotest.fail "nested llc.misses missing");
+  check_bool "histograms key present" true
+    (Json.member "histograms" json <> None);
+  let csv = Metrics.to_csv m in
+  check_bool "csv has header" true
+    (String.length csv > 11 && String.sub csv 0 11 = "name,value\n");
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "csv has histogram row" true
+    (contains csv "core.0.load_latency.p50,")
+
+let () =
+  Alcotest.run "mi6_obs"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "empty" `Quick test_hist_empty;
+          Alcotest.test_case "single sample" `Quick test_hist_single;
+          Alcotest.test_case "bucket boundaries" `Quick
+            test_hist_bucket_boundaries;
+          Alcotest.test_case "uniform quantiles" `Quick
+            test_hist_quantiles_uniform;
+          Alcotest.test_case "negative clamps" `Quick test_hist_negative_clamps;
+          Alcotest.test_case "merge and reset" `Quick test_hist_merge_reset;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring overflow drops oldest" `Quick
+            test_trace_ring_overflow;
+          Alcotest.test_case "category filter" `Quick test_trace_filter;
+          Alcotest.test_case "null trace disabled" `Quick
+            test_trace_null_disabled;
+          Alcotest.test_case "reset" `Quick test_trace_reset;
+          Alcotest.test_case "chrome json export" `Quick test_trace_chrome_json;
+          Alcotest.test_case "stable labels" `Quick
+            test_trace_event_labels_stable;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "scoping and export" `Quick
+            test_metrics_scoping_and_export;
+        ] );
+    ]

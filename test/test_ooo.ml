@@ -84,7 +84,7 @@ let test_ras () =
 let run_core ?(cfg = Core_config.default) ?(max_cycles = 2_000_000) uops =
   let stats = Stats.create () in
   let links = [| Link.create ~depth:4; Link.create ~depth:4 |] in
-  let dram = Controller.constant ~latency:120 ~max_outstanding:24 ~stats in
+  let dram = Controller.constant ~latency:120 ~max_outstanding:24 ~stats () in
   let llc =
     Llc.create (Llc.default_config ~cores:2) ~security:Llc.baseline_security
       ~links ~dram ~stats
@@ -286,7 +286,7 @@ let test_flush_slower_than_base () =
 let test_purge_resets_predictor_state () =
   let stats = Stats.create () in
   let links = [| Link.create ~depth:4; Link.create ~depth:4 |] in
-  let dram = Controller.constant ~latency:120 ~max_outstanding:24 ~stats in
+  let dram = Controller.constant ~latency:120 ~max_outstanding:24 ~stats () in
   let llc =
     Llc.create (Llc.default_config ~cores:2) ~security:Llc.baseline_security
       ~links ~dram ~stats

@@ -97,7 +97,7 @@ let run_walk ?(accept = fun ~line:_ -> true) ptw ~vpage =
 let make_ptw () =
   let tc = Trans_cache.create ~entries_per_level:24 ~levels:2 in
   (Ptw.create ~max_walks:2 ~tcache:tc ~pt_base_line:1_000_000
-     ~table_window_lines:4096, tc)
+     ~table_window_lines:4096 (), tc)
 
 let test_ptw_full_walk_then_cached () =
   let ptw, _ = make_ptw () in
