@@ -1,6 +1,6 @@
 # Convenience wrapper around dune; `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench-smoke ci clean
+.PHONY: all build test bench-smoke audit-smoke perf-compare ci clean
 
 all: build
 
@@ -10,13 +10,25 @@ build:
 test:
 	dune runtest
 
-# Short benchmark run that must produce parseable machine-readable output.
+# Short benchmark run that must produce parseable machine-readable output
+# (BENCH_run.json snapshot + BENCH_history.jsonl regression database).
 bench-smoke:
 	dune exec bench/main.exe -- --fast fig5
 	dune exec bench/json_check.exe -- --require runs BENCH_run.json
+	dune exec bench/json_check.exe -- --history BENCH_history.jsonl
 
-ci: build test bench-smoke
+# Leakage audit: exits nonzero unless the MI6 LLC shows zero divergence
+# across attacker behaviours AND the baseline leak is localized.
+audit-smoke:
+	dune exec bin/mi6_sim.exe -- audit --json audit.json
+
+# Diff the two most recent bench runs in BENCH_history.jsonl; exits
+# nonzero on a cycle or IPC regression past the default 5% thresholds.
+perf-compare:
+	dune exec bench/compare.exe
+
+ci: build test bench-smoke audit-smoke
 
 clean:
 	dune clean
-	rm -f BENCH_run.json
+	rm -f BENCH_run.json audit.json

@@ -1,46 +1,140 @@
-(* CI helper: exit 0 iff every argument file parses as JSON.  With
-   --require KEY, the top-level object must also contain KEY. *)
+(* CI schema checker for the observability exports.
+
+   usage: json_check [--require KEY]... [--chrome-trace FILE]...
+                     [--history FILE]... [FILE]...
+
+   Plain FILE arguments must parse as JSON (and contain every --require
+   KEY at the top level).  --chrome-trace files must additionally follow
+   the Chrome trace_event schema the simulator emits (a "traceEvents"
+   list whose entries carry name/ph/ts/pid/tid with the right types).
+   --history files are BENCH_history.jsonl databases: every non-blank
+   line must decode into a Perfdb record.  Exit 0 iff everything
+   passes. *)
+
+open Mi6_obs
+
+let read_file file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* One problem string per violated constraint; [] = valid. *)
+let check_chrome_trace json =
+  match Json.member "traceEvents" json with
+  | None -> [ "missing top-level \"traceEvents\"" ]
+  | Some (Json.List events) ->
+    let check_event i ev =
+      let field name = Json.member name ev in
+      let problems = ref [] in
+      let want name pred kind =
+        match field name with
+        | None ->
+          problems := Printf.sprintf "event %d: missing %S" i name :: !problems
+        | Some v ->
+          if not (pred v) then
+            problems :=
+              Printf.sprintf "event %d: %S is not %s" i name kind :: !problems
+      in
+      let is_string = function Json.String _ -> true | _ -> false in
+      let is_int = function Json.Int _ -> true | _ -> false in
+      want "name" is_string "a string";
+      want "ph" (function
+        | Json.String ("B" | "E" | "i" | "C" | "X" | "M") -> true
+        | _ -> false)
+        "a phase (B/E/i/C/X/M)";
+      want "ts" is_int "an integer timestamp";
+      want "pid" is_int "an integer";
+      want "tid" is_int "an integer";
+      List.rev !problems
+    in
+    List.concat (List.mapi check_event events)
+  | Some _ -> [ "\"traceEvents\" is not a list" ]
+
+(* Every non-blank JSONL line must decode into a Perfdb record. *)
+let check_history file =
+  let s = read_file file in
+  let lines = String.split_on_char '\n' s in
+  let problems = ref [] in
+  let runs = ref 0 in
+  List.iteri
+    (fun i line ->
+      if String.trim line <> "" then
+        match Json.of_string line with
+        | exception Failure msg ->
+          problems :=
+            Printf.sprintf "line %d: invalid JSON: %s" (i + 1) msg :: !problems
+        | json -> (
+          match Perfdb.record_of_json json with
+          | Ok _ -> incr runs
+          | Error msg ->
+            problems :=
+              Printf.sprintf "line %d: bad record: %s" (i + 1) msg :: !problems))
+    lines;
+  if !runs = 0 && !problems = [] then
+    problems := [ "no records (empty history)" ];
+  List.rev !problems
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let require, files =
-    let rec go acc_req acc_files = function
-      | "--require" :: k :: rest -> go (k :: acc_req) acc_files rest
-      | f :: rest -> go acc_req (f :: acc_files) rest
-      | [] -> (acc_req, List.rev acc_files)
-    in
-    go [] [] args
+  let require = ref [] in
+  let plain = ref [] and chrome = ref [] and history = ref [] in
+  let rec parse = function
+    | "--require" :: k :: rest ->
+      require := k :: !require;
+      parse rest
+    | "--chrome-trace" :: f :: rest ->
+      chrome := f :: !chrome;
+      parse rest
+    | "--history" :: f :: rest ->
+      history := f :: !history;
+      parse rest
+    | f :: rest ->
+      plain := f :: !plain;
+      parse rest
+    | [] -> ()
   in
-  if files = [] then begin
-    prerr_endline "usage: json_check [--require KEY]... FILE...";
+  parse args;
+  let plain = List.rev !plain
+  and chrome = List.rev !chrome
+  and history = List.rev !history in
+  if plain = [] && chrome = [] && history = [] then begin
+    prerr_endline
+      "usage: json_check [--require KEY]... [--chrome-trace FILE]...\n\
+      \                  [--history FILE]... [FILE]...";
     exit 2
   end;
   let fail = ref false in
+  let report file = function
+    | [] -> Printf.printf "%s: ok\n" file
+    | problems ->
+      List.iter (fun p -> Printf.eprintf "%s: %s\n" file p) problems;
+      fail := true
+  in
+  let with_json file k =
+    match Json.of_string (read_file file) with
+    | exception Sys_error msg ->
+      report file [ msg ]
+    | exception Failure msg ->
+      report file [ "invalid JSON: " ^ msg ]
+    | json -> report file (k json)
+  in
   List.iter
     (fun file ->
-      match
-        let ic = open_in_bin file in
-        let n = in_channel_length ic in
-        let s = really_input_string ic n in
-        close_in ic;
-        Mi6_obs.Json.of_string s
-      with
-      | exception Sys_error msg ->
-        Printf.eprintf "%s: %s\n" file msg;
-        fail := true
-      | exception Failure msg ->
-        Printf.eprintf "%s: invalid JSON: %s\n" file msg;
-        fail := true
-      | json ->
-        let missing =
-          List.filter
-            (fun k -> Mi6_obs.Json.member k json = None)
-            require
-        in
-        if missing <> [] then begin
-          Printf.eprintf "%s: missing key(s): %s\n" file
-            (String.concat ", " missing);
-          fail := true
-        end
-        else Printf.printf "%s: ok\n" file)
-    files;
+      with_json file (fun json ->
+          List.filter_map
+            (fun k ->
+              if Json.member k json = None then
+                Some (Printf.sprintf "missing key %S" k)
+              else None)
+            (List.rev !require)))
+    plain;
+  List.iter (fun file -> with_json file check_chrome_trace) chrome;
+  List.iter
+    (fun file ->
+      match check_history file with
+      | exception Sys_error msg -> report file [ msg ]
+      | problems -> report file problems)
+    history;
   exit (if !fail then 1 else 0)

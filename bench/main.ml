@@ -652,6 +652,63 @@ let emit_run_json ~fast =
   close_out oc;
   Printf.printf "\nwrote BENCH_run.json (%d runs)\n%!" (List.length runs)
 
+(* Cross-run regression history: every harness invocation appends one
+   JSONL record per cached (variant, bench) run under a fresh run id, so
+   bench/compare.exe can diff the latest two invocations and CI can fail
+   on a cycle or IPC regression.  Records carry the CPI stack and key
+   latency quantiles so a regression is attributable, not just
+   detectable. *)
+let history_path = "BENCH_history.jsonl"
+
+let append_history () =
+  let open Mi6_obs in
+  let commit = Perfdb.git_commit () in
+  let run_id = Perfdb.next_run_id (Perfdb.load ~path:history_path) ~commit in
+  let records =
+    Hashtbl.fold
+      (fun (variant, bench) (r : Tmachine.result) acc ->
+        let cpi =
+          List.filter_map
+            (fun cat ->
+              match Stats.get r.Tmachine.stats (Cpistack.counter_name cat) with
+              | 0 -> None
+              | c -> Some (cat, c))
+            Cpistack.categories
+        in
+        let quantiles =
+          List.filter_map
+            (fun (name, h) ->
+              if Histogram.count h = 0 then None
+              else
+                Some
+                  (name, (Histogram.p50 h, Histogram.p95 h, Histogram.p99 h)))
+            (Metrics.histograms r.Tmachine.metrics)
+        in
+        {
+          Perfdb.run_id;
+          commit;
+          variant = Config.variant_name variant;
+          bench = bench_name bench;
+          cycles = r.Tmachine.cycles;
+          instrs = r.Tmachine.instrs;
+          ipc = Tmachine.ipc r;
+          cpi;
+          quantiles;
+        }
+        :: acc)
+      cache []
+  in
+  let records =
+    List.sort
+      (fun a b ->
+        compare (a.Perfdb.bench, a.Perfdb.variant)
+          (b.Perfdb.bench, b.Perfdb.variant))
+      records
+  in
+  Perfdb.append ~path:history_path records;
+  Printf.printf "appended run %s (%d records) -> %s\n%!" run_id
+    (List.length records) history_path
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let fast = List.mem "--fast" args in
@@ -680,5 +737,6 @@ let () =
           wanted
     in
     List.iter (fun (_, f) -> f ()) figs;
-    emit_run_json ~fast
+    emit_run_json ~fast;
+    append_history ()
   end

@@ -4,6 +4,8 @@
      run     run SPEC models on processor variants (default)
      multi   multiprogrammed multicore run (BASE vs secure MI6 machine)
      attack  side-channel verdicts (prime+probe, MSHR, DRAM banks)
+     audit   leakage audit: victim event streams diffed across attackers
+     profile CPI-stack attribution of a run, per variant
      area    structural area model *)
 
 open Cmdliner
@@ -263,6 +265,253 @@ let attack_cmd =
     Term.(const run $ const ())
 
 (* ------------------------------------------------------------------ *)
+(* audit                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let audit_cmd =
+  let attacker_conv =
+    let parse s =
+      match Noninterference.attacker_of_name s with
+      | Some a -> Ok a
+      | None -> Error (`Msg (Printf.sprintf "unknown attacker behaviour %S" s))
+    in
+    Arg.conv
+      (parse, fun ppf a ->
+        Format.pp_print_string ppf (Noninterference.attacker_name a))
+  in
+  let attackers =
+    Arg.(value
+         & opt (list attacker_conv)
+             [ Noninterference.A_flood; Noninterference.A_burst;
+               Noninterference.A_sweep ]
+         & info [ "attackers" ] ~docv:"BEHAVIOURS"
+             ~doc:"Attacker behaviours diffed against the idle reference                  (flood,burst,sweep).")
+  in
+  let json_file =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write the audit report as JSON.")
+  in
+  let run attackers json_file =
+    let open Mi6_obs in
+    print_endline
+      "Leakage audit (paper Section 5.4): the victim's cycle-stamped view of \
+       the shared memory system,\ndiffed event-for-event between an idle \
+       attacker and each adversarial behaviour.";
+    print_newline ();
+    let audit_setup name setup =
+      let capture attacker =
+        let events, drops =
+          Noninterference.victim_llc_events setup ~attacker
+        in
+        if drops > 0 then
+          Printf.eprintf
+            "warning: %s/%s trace ring dropped %d events; audit is \
+             unreliable\n%!"
+            name
+            (Noninterference.attacker_name attacker)
+            drops;
+        events
+      in
+      let reference = capture Noninterference.A_idle in
+      List.map
+        (fun attacker ->
+          let r =
+            Audit.diff ~label_a:"idle"
+              ~label_b:(Noninterference.attacker_name attacker)
+              reference (capture attacker)
+          in
+          Printf.printf "[%s LLC] %s\n" name
+            (Format.asprintf "%a" Audit.pp_report r);
+          r)
+        attackers
+    in
+    let baseline = audit_setup "baseline" Noninterference.baseline_setup in
+    let mi6 = audit_setup "mi6" Noninterference.mi6_setup in
+    let mi6_clean = List.for_all Audit.clean mi6 in
+    let baseline_channel =
+      List.find_map Audit.first_leaking_channel baseline
+    in
+    Printf.printf "verdict:\n";
+    Printf.printf "  MI6 LLC      %s\n"
+      (if mi6_clean then
+         Printf.sprintf
+           "zero divergence across %d attacker behaviours (timing-independent)"
+           (List.length mi6)
+       else "DIVERGENCE DETECTED — non-interference violated");
+    (match baseline_channel with
+    | Some ch ->
+      Printf.printf "  baseline LLC leaks, first through the %s channel\n"
+        (Audit.channel_name ch)
+    | None ->
+      Printf.printf
+        "  baseline LLC showed no divergence (auditor lost its witness)\n");
+    (match json_file with
+    | Some path ->
+      let doc =
+        Json.Obj
+          [
+            ("experiment", Json.String "victim-timeline leakage audit");
+            ( "attackers",
+              Json.List
+                (List.map
+                   (fun a -> Json.String (Noninterference.attacker_name a))
+                   attackers) );
+            ( "setups",
+              Json.List
+                (List.map
+                   (fun (name, reports, clean) ->
+                     Json.Obj
+                       [
+                         ("setup", Json.String name);
+                         ("clean", Json.Bool clean);
+                         ( "comparisons",
+                           Json.List (List.map Audit.report_to_json reports) );
+                       ])
+                   [
+                     ("baseline", baseline, List.for_all Audit.clean baseline);
+                     ("mi6", mi6, mi6_clean);
+                   ]) );
+            ( "verdict",
+              Json.Obj
+                [
+                  ("mi6_clean", Json.Bool mi6_clean);
+                  ("baseline_leaks", Json.Bool (baseline_channel <> None));
+                  ( "baseline_channel",
+                    match baseline_channel with
+                    | Some ch -> Json.String (Audit.channel_name ch)
+                    | None -> Json.Null );
+                ] );
+          ]
+      in
+      write_file path (Json.to_string doc);
+      Printf.printf "audit report -> %s\n%!" path
+    | None -> ());
+    (* The audit passes only when it demonstrates both halves of the
+       paper's claim: MI6 timing-independent AND the insecure baseline
+       observably leaking (otherwise the auditor has no witness that it
+       could see a leak at all). *)
+    if not (mi6_clean && baseline_channel <> None) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "leakage audit: diff the victim's event timeline across attacker \
+          behaviours on the baseline and MI6 LLCs")
+    Term.(const run $ attackers $ json_file)
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let profile_cmd =
+  let benches =
+    Arg.(value & opt (list bench_conv) [ Mi6_workload.Spec.Gcc ]
+         & info [ "b"; "bench" ] ~doc:"Benchmarks (comma separated).")
+  in
+  let variants =
+    Arg.(value
+         & opt (list variant_conv)
+             [ Config.Base; Config.Flush; Config.Part; Config.Fpma ]
+         & info [ "v"; "variant" ] ~doc:"Processor variants (comma separated).")
+  in
+  let folded_file =
+    Arg.(value & opt (some string) None
+         & info [ "folded" ] ~docv:"FILE"
+             ~doc:"Append folded-stack lines (bench;variant;category cycles)                  for flamegraph tooling.")
+  in
+  let json_file =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write all CPI stacks as JSON.")
+  in
+  let run benches variants warmup measure folded_file json_file =
+    let open Mi6_obs in
+    let folded = Buffer.create 256 in
+    let all_stacks = ref [] in
+    let failed = ref false in
+    List.iter
+      (fun bench ->
+        let bname = Mi6_workload.Spec.name bench in
+        let stacks =
+          List.map
+            (fun variant ->
+              let r = Tmachine.run_spec ~variant ~bench ~warmup ~measure () in
+              (match
+                 List.assoc_opt "trace.dropped_events"
+                   (Metrics.counters r.Tmachine.metrics)
+               with
+              | Some d when d > 0 ->
+                Printf.eprintf "warning: trace ring dropped %d events\n%!" d
+              | _ -> ());
+              let s =
+                Cpistack.of_counters
+                  ~label:(Config.variant_name variant)
+                  ~total:r.Tmachine.cycles
+                  (Mi6_util.Stats.to_assoc r.Tmachine.stats)
+              in
+              (* The attribution invariant: every measured cycle lands in
+                 exactly one bucket. *)
+              if not (Cpistack.sums_exactly s) then begin
+                Printf.eprintf
+                  "error: %s %s CPI stack sums to %d, measured %d cycles \
+                   (residual %d)\n%!"
+                  bname
+                  (Config.variant_name variant)
+                  (Cpistack.attributed s) (Cpistack.total s)
+                  (Cpistack.residual s);
+                failed := true
+              end;
+              Buffer.add_string folded
+                (Cpistack.to_folded
+                   ~stem:(Printf.sprintf "%s;%s" bname
+                            (Config.variant_name variant))
+                   s);
+              s)
+            variants
+        in
+        all_stacks := (bname, stacks) :: !all_stacks;
+        Printf.printf
+          "CPI stack: %s (%d warmup + %d measured instructions)\n%s\n" bname
+          warmup measure (Cpistack.table stacks))
+      benches;
+    (match folded_file with
+    | Some path ->
+      write_file path (Buffer.contents folded);
+      Printf.printf "folded stacks -> %s (flamegraph.pl compatible)\n%!" path
+    | None -> ());
+    (match json_file with
+    | Some path ->
+      let doc =
+        Json.Obj
+          [
+            ("warmup", Json.Int warmup);
+            ("measure", Json.Int measure);
+            ( "profiles",
+              Json.List
+                (List.rev_map
+                   (fun (bname, stacks) ->
+                     Json.Obj
+                       [
+                         ("bench", Json.String bname);
+                         ( "stacks",
+                           Json.List (List.map Cpistack.to_json stacks) );
+                       ])
+                   !all_stacks) );
+          ]
+      in
+      write_file path (Json.to_string doc);
+      Printf.printf "profiles -> %s\n%!" path
+    | None -> ());
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "top-down CPI-stack attribution per variant (where every cycle \
+          went: commits, mispredicts, L1/LLC/DRAM stalls, TLB walks, purges)")
+    Term.(const run $ benches $ variants $ warmup $ measure $ folded_file
+          $ json_file)
+
+(* ------------------------------------------------------------------ *)
 (* area                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -288,4 +537,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:Term.(ret (const (`Help (`Pager, None))))
           (Cmd.info "mi6_sim" ~doc)
-          [ run_cmd; multi_cmd; attack_cmd; area_cmd ]))
+          [ run_cmd; multi_cmd; attack_cmd; audit_cmd; profile_cmd; area_cmd ]))

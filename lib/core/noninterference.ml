@@ -172,8 +172,40 @@ let dram_bank_channel ~reordering ~victim_same_bank =
 (* Victim-timeline capture                                             *)
 (* ------------------------------------------------------------------ *)
 
-let victim_timeline setup ~attacker_floods =
-  let trace = Trace.create ~capacity:(1 lsl 16) ~filter:[ Trace.Llc ] () in
+type attacker = A_idle | A_flood | A_burst | A_sweep
+
+let all_attackers = [ A_idle; A_flood; A_burst; A_sweep ]
+
+let attacker_name = function
+  | A_idle -> "idle"
+  | A_flood -> "flood"
+  | A_burst -> "burst"
+  | A_sweep -> "sweep"
+
+let attacker_of_name s =
+  List.find_opt (fun a -> attacker_name a = String.lowercase_ascii s)
+    all_attackers
+
+(* Victim-owned DRAM traffic: commands for lines inside the victim's
+   region (DRAM events carry no core attribution, only addresses). *)
+let victim_region_lines =
+  geometry.Addr.region_bytes / Addr.line_bytes
+
+let victim_owns_line line =
+  line >= victim_base_line && line < victim_base_line + victim_region_lines
+
+let victim_event vcore ev =
+  match Trace.event_core ev with
+  | Some c -> c = vcore
+  | None -> (
+    match ev with
+    | Trace.Dram_cmd { line; _ } -> victim_owns_line line
+    | _ -> false)
+
+let victim_observation setup ~attacker =
+  let trace =
+    Trace.create ~capacity:(1 lsl 16) ~filter:[ Trace.Llc; Trace.Dram ] ()
+  in
   let h = make_hierarchy ~trace setup ~dram:const_dram in
   (* Roles swapped relative to the other experiments: the victim sits on
      the HIGHER core index, where the baseline mux's lower-core-first
@@ -181,13 +213,36 @@ let victim_timeline setup ~attacker_floods =
      round-robin arbiter must make the position irrelevant. *)
   let vcore = 1 and acore = 0 in
   let next_attacker = ref 0 in
+  (* Each behaviour stresses a different shared structure: [A_flood]
+     keeps maximal misses in flight (MSHR + arbiter pressure), [A_burst]
+     alternates 256-cycle storms with silence (arbitration-phase
+     pressure), [A_sweep] loops over a small working set so most traffic
+     hits in the LLC (pipeline/queue pressure without DRAM). *)
   let attacker_driver () =
-    if attacker_floods && Hierarchy.can_accept h ~core:acore then begin
-      incr next_attacker;
-      Hierarchy.request h ~core:acore
-        ~line:(attacker_base_line + (!next_attacker * 517))
-        ~store:false ~id:!next_attacker
-    end;
+    (match attacker with
+    | A_idle -> ()
+    | A_flood ->
+      if Hierarchy.can_accept h ~core:acore then begin
+        incr next_attacker;
+        Hierarchy.request h ~core:acore
+          ~line:(attacker_base_line + (!next_attacker * 517))
+          ~store:false ~id:!next_attacker
+      end
+    | A_burst ->
+      if (Hierarchy.now h / 256) land 1 = 0 && Hierarchy.can_accept h ~core:acore
+      then begin
+        incr next_attacker;
+        Hierarchy.request h ~core:acore
+          ~line:(attacker_base_line + (!next_attacker * 517))
+          ~store:false ~id:!next_attacker
+      end
+    | A_sweep ->
+      if Hierarchy.can_accept h ~core:acore then begin
+        incr next_attacker;
+        Hierarchy.request h ~core:acore
+          ~line:(attacker_base_line + (!next_attacker mod 24 * 131))
+          ~store:false ~id:!next_attacker
+      end);
     ignore (Hierarchy.take_completions h ~core:acore)
   in
   (* The victim runs a fixed access script: bursts of 4 concurrent
@@ -212,14 +267,27 @@ let victim_timeline setup ~attacker_floods =
     done
   done;
   (* The victim's view: every cycle-stamped LLC event attributed to its
-     core, rendered to stable strings. *)
+     core, plus DRAM commands for its own lines. *)
+  let events =
+    List.filter (fun (_, ev) -> victim_event vcore ev) (Trace.events trace)
+  in
+  (events, Trace.dropped trace)
+
+let victim_llc_events setup ~attacker = victim_observation setup ~attacker
+
+let victim_timeline setup ~attacker_floods =
+  let events, _drops =
+    victim_observation setup
+      ~attacker:(if attacker_floods then A_flood else A_idle)
+  in
+  (* Rendered to stable strings, DRAM excluded: the historical
+     timeline-equality shape (PR 1's noninterference test). *)
   List.filter_map
     (fun (cycle, ev) ->
-      match Trace.event_core ev with
-      | Some c when c = vcore ->
-        Some (Printf.sprintf "%d %s" cycle (Trace.event_label ev))
+      match Trace.category_of_event ev with
+      | Trace.Llc -> Some (Printf.sprintf "%d %s" cycle (Trace.event_label ev))
       | _ -> None)
-    (Trace.events trace)
+    events
 
 let leaks observations =
   match observations with

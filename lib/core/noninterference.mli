@@ -49,12 +49,28 @@ val mshr_channel : llc_setup -> victim_floods:bool -> int list
     victim hammers either the attacker's DRAM bank or a different one. *)
 val dram_bank_channel : reordering:bool -> victim_same_bank:bool -> int list
 
-(** [victim_timeline setup ~attacker_floods] — the victim runs a fixed
-    access script while the attacker either floods the hierarchy with its
-    own misses or stays idle; returns the victim's cycle-stamped LLC
-    event timeline (arbiter grants, MSHR alloc/free, upgrade-queue
-    sends), captured with {!Mi6_obs.Trace}.  Non-interference demands
-    this timeline be bit-identical across attacker behaviours. *)
+(** Attacker behaviours for the timeline experiments: idle, a saturating
+    miss flood, alternating 256-cycle bursts, and a small-working-set
+    sweep that mostly hits in the LLC. *)
+type attacker = A_idle | A_flood | A_burst | A_sweep
+
+val all_attackers : attacker list
+val attacker_name : attacker -> string
+val attacker_of_name : string -> attacker option
+
+(** [victim_llc_events setup ~attacker] — the victim runs a fixed access
+    script while the attacker runs [attacker]; returns the victim's
+    cycle-stamped event stream (its LLC arbiter grants, MSHR alloc/free,
+    UQ sends, DQ retries, and DRAM commands for its own lines), plus the
+    trace ring's dropped-event count (nonzero drops invalidate a
+    stream-equality audit).  Feed two streams to {!Mi6_obs.Audit.diff}:
+    non-interference demands they be bit-identical across attackers. *)
+val victim_llc_events :
+  llc_setup -> attacker:attacker -> (int * Mi6_obs.Trace.event) list * int
+
+(** [victim_timeline setup ~attacker_floods] — the [A_flood]/[A_idle]
+    special case of {!victim_llc_events}, rendered to stable strings
+    (LLC events only). *)
 val victim_timeline : llc_setup -> attacker_floods:bool -> string list
 
 (** [leaks observations] — true when any two observations differ (the

@@ -3,6 +3,7 @@ type t = {
   l1ds : L1.t array;
   l1is : L1.t array;
   llc : Llc.t;
+  trace : Trace.t;
   mutable clock : int;
 }
 
@@ -53,7 +54,7 @@ let create ?(trace = Trace.null) (timing : Config.timing) ~streams ~stats =
           ~l1d:l1ds.(i) ~stream:streams.(i) ~stats
           ~pt_base_line:(pt_base_line ~core:i))
   in
-  { cores; l1ds; l1is; llc; clock = 0 }
+  { cores; l1ds; l1is; llc; trace; clock = 0 }
 
 (* Registry over every component's counters and distributions; values are
    read at export time, so build it once and export after the run. *)
@@ -87,6 +88,11 @@ let metrics m ~stats =
     m.l1is;
   Metrics.add_histogram reg ~name:"llc.mshr_occupancy"
     (Llc.mshr_occupancy m.llc);
+  (* A silently overflowed trace ring invalidates timeline analyses
+     (audits compare streams event-for-event), so the drop count rides
+     along with every metrics export. *)
+  Metrics.set_int reg ~name:"trace.events" (Trace.length m.trace);
+  Metrics.set_int reg ~name:"trace.dropped_events" (Trace.dropped m.trace);
   reg
 
 let now t = t.clock

@@ -36,7 +36,10 @@ type result = {
   stats : Stats.t;  (** measured-window counter deltas *)
   metrics : Metrics.t;
       (** full-machine registry: the counter table plus per-core load/
-          purge/walk, per-L1 miss-latency, and LLC-occupancy histograms *)
+          purge/walk, per-L1 miss-latency, and LLC-occupancy histograms,
+          and the trace-ring gauges [trace.events] /
+          [trace.dropped_events] (nonzero drops invalidate
+          timeline-equality analyses) *)
 }
 
 val ipc : result -> float

@@ -1,0 +1,74 @@
+(** Leakage auditor: align two cycle-stamped event streams and localize
+    where — and through which hardware channel — they first diverge.
+
+    The MI6 non-interference claim (paper Section 5.4) is that a
+    victim's cycle-stamped view of the shared memory system is
+    bit-identical whatever a co-resident attacker does.  {!diff} takes
+    the victim's event stream under two attacker behaviours and produces
+    a {!report}: the overall first-divergence point plus a per-channel
+    verdict (LLC arbiter, MSHR file, UQ/DQ queues, DRAM command bus,
+    cache fills, page walks), so a failing configuration names the
+    leaking structure rather than just "traces differ". *)
+
+(** The hardware structures an event stream is split into.  [Sample]
+    collects the periodic occupancy counters, which are diagnostics
+    rather than attacker-visible timing. *)
+type channel = Arbiter | Mshr | Uq_dq | Dram | Cache | Walk | Purge | Sample
+
+val all_channels : channel list
+val channel_name : channel -> string
+val channel_of_event : Trace.event -> channel
+
+(** A first point of disagreement between two aligned streams.
+    [d_index] is the position in the compared (sub)stream; the cycle and
+    label are [None]/["<end-of-stream>"] on the side that ran out of
+    events first. *)
+type divergence = {
+  d_index : int;
+  d_cycle_a : int option;
+  d_cycle_b : int option;
+  d_label_a : string;
+  d_label_b : string;
+}
+
+(** The label standing in for the side that ran out of events. *)
+val eos : string
+
+type channel_verdict = {
+  v_channel : channel;
+  v_events_a : int;
+  v_events_b : int;
+  v_first : divergence option;
+}
+
+type report = {
+  r_label_a : string;
+  r_label_b : string;
+  r_events_a : int;
+  r_events_b : int;
+  r_first : divergence option;  (** across the full interleaved stream *)
+  r_channels : channel_verdict list;
+}
+
+(** [diff a b] — compare two event streams (oldest first, as returned by
+    {!Trace.events}).  Two events agree when both their cycle stamps and
+    their {!Trace.event_label} renderings are equal. *)
+val diff :
+  ?label_a:string ->
+  ?label_b:string ->
+  (int * Trace.event) list ->
+  (int * Trace.event) list ->
+  report
+
+(** A report is clean when the full streams are bit-identical. *)
+val clean : report -> bool
+
+(** Channels that diverged, earliest first (by the cycle stamp of their
+    first divergence). *)
+val leaking_channels : report -> channel list
+
+(** The earliest-diverging channel, i.e. where the leak enters. *)
+val first_leaking_channel : report -> channel option
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_json : report -> Json.t

@@ -1,0 +1,91 @@
+let categories =
+  [ "base"; "mispredict"; "l1_miss"; "llc_dram"; "tlb_walk"; "purge"; "other" ]
+
+let counter_name ?(prefix = "core.cpi") cat = prefix ^ "." ^ cat
+
+type t = { label : string; total : int; entries : (string * int) list }
+
+let v ~label ~total entries =
+  List.iter
+    (fun (cat, _) ->
+      if not (List.mem cat categories) then
+        invalid_arg (Printf.sprintf "Cpistack.v: unknown category %S" cat))
+    entries;
+  let entries =
+    List.map
+      (fun cat ->
+        (cat, match List.assoc_opt cat entries with Some c -> c | None -> 0))
+      categories
+  in
+  { label; total; entries }
+
+let of_counters ~label ~total ?prefix counters =
+  v ~label ~total
+    (List.filter_map
+       (fun cat ->
+         Option.map
+           (fun c -> (cat, c))
+           (List.assoc_opt (counter_name ?prefix cat) counters))
+       categories)
+
+let label t = t.label
+let total t = t.total
+let cycles t cat = match List.assoc_opt cat t.entries with Some c -> c | None -> 0
+let attributed t = List.fold_left (fun acc (_, c) -> acc + c) 0 t.entries
+let residual t = t.total - attributed t
+let sums_exactly t = residual t = 0
+
+let share t cat =
+  if t.total = 0 then 0.0 else float_of_int (cycles t cat) /. float_of_int t.total
+
+let to_folded ?stem t =
+  let stem = match stem with Some s -> s | None -> t.label in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (cat, c) ->
+      if c > 0 then Buffer.add_string buf (Printf.sprintf "%s;%s %d\n" stem cat c))
+    t.entries;
+  let r = residual t in
+  if r > 0 then Buffer.add_string buf (Printf.sprintf "%s;unattributed %d\n" stem r);
+  Buffer.contents buf
+
+let table stacks =
+  let buf = Buffer.create 1024 in
+  let name_w =
+    List.fold_left
+      (fun w cat -> max w (String.length cat))
+      (String.length "unattributed") categories
+  in
+  let col_w =
+    List.fold_left (fun w s -> max w (String.length s.label + 9)) 18 stacks
+  in
+  Buffer.add_string buf (Printf.sprintf "%-*s" name_w "");
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "  %*s" col_w s.label))
+    stacks;
+  Buffer.add_char buf '\n';
+  let row name value =
+    Buffer.add_string buf (Printf.sprintf "%-*s" name_w name);
+    List.iter
+      (fun s -> Buffer.add_string buf (Printf.sprintf "  %*s" col_w (value s)))
+      stacks;
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun cat ->
+      row cat (fun s ->
+          Printf.sprintf "%d (%4.1f%%)" (cycles s cat) (100.0 *. share s cat)))
+    categories;
+  if List.exists (fun s -> residual s <> 0) stacks then
+    row "unattributed" (fun s -> string_of_int (residual s));
+  row "TOTAL" (fun s -> string_of_int s.total);
+  Buffer.contents buf
+
+let to_json t =
+  Json.Obj
+    [
+      ("label", Json.String t.label);
+      ("total_cycles", Json.Int t.total);
+      ("residual", Json.Int (residual t));
+      ("stack", Json.Obj (List.map (fun (cat, c) -> (cat, Json.Int c)) t.entries));
+    ]

@@ -1,0 +1,64 @@
+(** Top-down CPI-stack attribution.
+
+    A stack splits a run's measured cycles into the canonical categories
+    produced by the core's per-cycle attributor (every simulated cycle
+    lands in exactly one bucket, so a well-formed stack sums exactly to
+    the measured cycle count — {!sums_exactly} checks it).  Rendering:
+    side-by-side text tables for several variants of one workload,
+    folded-stack lines for flamegraph tooling, and JSON for the perf
+    history database. *)
+
+(** Canonical category order: [base] (a commit happened), [mispredict]
+    (front end refilling after a control redirect), [l1_miss] (ROB head
+    or fetch blocked on a short memory access — L1 miss served by the
+    LLC), [llc_dram] (blocked long enough that the access went to DRAM),
+    [tlb_walk] (blocked behind TLB refills / page walks), [purge] (MI6
+    microarchitectural purge in progress), [other] (everything else:
+    execution latency, structural hazards, drained stream). *)
+val categories : string list
+
+(** Fully qualified counter name for a category, [prefix ^ "." ^ cat];
+    the core uses prefix ["core.cpi"]. *)
+val counter_name : ?prefix:string -> string -> string
+
+type t
+
+(** [v ~label ~total entries] — a stack from explicit per-category cycle
+    counts.  Unknown categories are rejected with [Invalid_argument];
+    missing ones default to 0. *)
+val v : label:string -> total:int -> (string * int) list -> t
+
+(** [of_counters ~label ~total counters] reads the per-category cycles
+    from a flat counter listing (e.g. {!Mi6_util.Stats.to_assoc} of a
+    measured window) under [prefix] (default ["core.cpi"]). *)
+val of_counters :
+  label:string -> total:int -> ?prefix:string -> (string * int) list -> t
+
+val label : t -> string
+
+(** Total measured cycles the stack is attributed against. *)
+val total : t -> int
+
+(** [cycles t cat] — cycles attributed to [cat] (0 for unknown names). *)
+val cycles : t -> string -> int
+
+(** [attributed t] — sum of all category cycles. *)
+val attributed : t -> int
+
+(** [residual t] = [total t - attributed t]; 0 for a well-formed stack. *)
+val residual : t -> int
+
+val sums_exactly : t -> bool
+
+(** [share t cat] — fraction of the total in [0, 1]; 0 on an empty run. *)
+val share : t -> string -> float
+
+(** One folded-stack line per category, ["stem;cat cycles"], suitable
+    for [flamegraph.pl] input.  [stem] defaults to the stack label. *)
+val to_folded : ?stem:string -> t -> string
+
+(** Side-by-side text table: one row per category (plus residual when
+    nonzero and the total), one column per stack. *)
+val table : t list -> string
+
+val to_json : t -> Json.t

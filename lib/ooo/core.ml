@@ -825,17 +825,60 @@ let purge_stage t =
    make L1 flushes cost one LLC message per line (Section 7.1). *)
 
 (* ------------------------------------------------------------------ *)
+(* CPI-stack attribution                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Top-down attribution: every tick is charged to exactly one
+   [core.cpi.*] counter, so within any measurement window the seven
+   buckets sum to the cycle count by construction (mi6_sim profile and
+   the regression DB rely on that invariant).  Priority order: useful
+   commit beats everything; a purge explains any stall during it; an
+   empty ROB is a front-end problem (redirect refill, I-cache miss,
+   I-TLB refill); otherwise the ROB head names the bottleneck — memory
+   stalls split into TLB-walk, L1-miss (served within the LLC round
+   trip) and LLC/DRAM (older than the round-trip hint). *)
+let attribute_cycle t ~committed_before =
+  let counter =
+    if t.committed > committed_before then "core.cpi.base"
+    else if purging t then "core.cpi.purge"
+    else if rob_empty t then
+      if t.fetch_blocked_on_resolve || t.now < t.fetch_stall_until then
+        "core.cpi.mispredict"
+      else if t.fetch_wait_icache then "core.cpi.l1_miss"
+      else if t.fetch_wait_itlb then "core.cpi.tlb_walk"
+      else "core.cpi.other"
+    else begin
+      let e = rob_entry t t.rob_head in
+      match e.u.Uop.kind with
+      | (Uop.Load _ | Uop.Store _) when e.state <> Rs_done ->
+        if t.dtlb_outstanding > 0 || Ptw.active_walks t.ptw > 0 then
+          "core.cpi.tlb_walk"
+        else begin
+          match (e.u.Uop.kind, e.lq_slot, e.state) with
+          | Uop.Load _, Some s, Rs_issued ->
+            if t.now - t.lq_issued_at.(s) > t.cfg.Core_config.llc_roundtrip_hint
+            then "core.cpi.llc_dram"
+            else "core.cpi.l1_miss"
+          | _ -> "core.cpi.other"
+        end
+      | _ -> "core.cpi.other"
+    end
+  in
+  Stats.incr t.stats counter
+
+(* ------------------------------------------------------------------ *)
 (* Tick and completions                                                *)
 (* ------------------------------------------------------------------ *)
 
 let tick t ~now =
   t.now <- now;
+  let committed_before = t.committed in
   Stats.incr t.stats "core.cycles";
   if now land 255 = 0 && Trace.active t.trace Trace.Core then
     Trace.emit t.trace ~now
       (Trace.Counter { core = t.id; name = "rob"; value = t.rob_count });
   run_events t;
-  match t.purge with
+  (match t.purge with
   | Pp_quiesce | Pp_flush _ ->
     (* The core idles while purging; only the drain machinery runs. *)
     sb_stage t;
@@ -865,7 +908,8 @@ let tick t ~now =
           else false);
       rename_stage t;
       fetch_stage t
-    end
+    end);
+  attribute_cycle t ~committed_before
 
 let mem_complete t ~now ~id =
   t.now <- max t.now now;

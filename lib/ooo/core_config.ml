@@ -17,6 +17,7 @@ type t = {
   nonspec_mem : bool;
   save_restore_predictors : bool;
   purge_floor : int;
+  llc_roundtrip_hint : int;
 }
 
 let default =
@@ -39,4 +40,5 @@ let default =
     nonspec_mem = false;
     save_restore_predictors = false;
     purge_floor = 512;
+    llc_roundtrip_hint = 60;
   }

@@ -28,6 +28,11 @@ type t = {
   purge_floor : int;
       (** minimum purge stall (512: slowest structure at its per-cycle
           flush rate, Section 7.1) *)
+  llc_roundtrip_hint : int;
+      (** CPI-stack attribution boundary: a ROB-head memory stall at most
+          this old is charged to [l1_miss] (the access is assumed served
+          by the LLC); older stalls to [llc_dram].  Must sit between the
+          LLC-hit and DRAM round-trip latencies. *)
 }
 
 val default : t

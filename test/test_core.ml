@@ -593,6 +593,42 @@ let test_multi_slower_than_solo () =
     true
     (multi.(0).Tmachine.cycles >= solo.Tmachine.cycles)
 
+(* The core's per-cycle CPI attributor increments exactly one bucket per
+   tick, so the stack must sum to the measured cycle count on every
+   variant — no lost or double-counted cycles. *)
+let test_cpi_stack_sums_to_cycles () =
+  List.iter
+    (fun variant ->
+      let r =
+        Tmachine.run_spec ~variant ~bench:Mi6_workload.Spec.Gcc ~warmup:10_000
+          ~measure:40_000 ()
+      in
+      let s =
+        Mi6_obs.Cpistack.of_counters
+          ~label:(Config.variant_name variant)
+          ~total:r.Tmachine.cycles
+          (Mi6_util.Stats.to_assoc r.Tmachine.stats)
+      in
+      check_bool
+        (Printf.sprintf "%s: attributed %d of %d cycles"
+           (Config.variant_name variant)
+           (Mi6_obs.Cpistack.attributed s)
+           r.Tmachine.cycles)
+        true
+        (Mi6_obs.Cpistack.sums_exactly s);
+      (* Commits happen, so the base bucket is never empty. *)
+      check_bool "base bucket populated" true
+        (Mi6_obs.Cpistack.cycles s "base" > 0);
+      (* Purge cycles only exist on purging variants. *)
+      let purge = Mi6_obs.Cpistack.cycles s "purge" in
+      match variant with
+      | Config.Base -> check_int "BASE never purges" 0 purge
+      | Config.Flush | Config.Fpma ->
+        check_bool "purging variant attributes purge cycles" true (purge > 0)
+      | _ -> ())
+    [ Config.Base; Config.Flush; Config.Part; Config.Miss; Config.Arb;
+      Config.Fpma ]
+
 let test_concurrent_enclaves_on_two_cores () =
   let _mem, fsims, monitor = make_machine ~cores:2 () in
   let mk regions =
@@ -767,6 +803,8 @@ let () =
         [
           Alcotest.test_case "run_multi completes" `Quick
             test_run_multi_completes;
+          Alcotest.test_case "cpi stack sums to cycles" `Quick
+            test_cpi_stack_sums_to_cycles;
           Alcotest.test_case "sharing not faster" `Quick
             test_multi_slower_than_solo;
           Alcotest.test_case "concurrent enclaves" `Quick

@@ -157,6 +157,100 @@ let test_trace_event_labels_stable () =
   check_str "mshr label" "mshr_alloc core=0 idx=3 line=0x2a"
     (Trace.event_label (Trace.Mshr_alloc { core = 0; idx = 3; line = 42 }))
 
+(* Merging two histograms must be indistinguishable from one histogram
+   fed the pooled samples — counts, extremes, and every quantile. *)
+let test_hist_merge_matches_pooled =
+  let gen = QCheck.(pair (list (int_bound 5000)) (list (int_bound 5000))) in
+  QCheck.Test.make ~name:"merge equals pooled samples" ~count:200 gen
+    (fun (xs, ys) ->
+      let a = Histogram.create () and b = Histogram.create () in
+      let pooled = Histogram.create () in
+      List.iter
+        (fun v ->
+          Histogram.add a v;
+          Histogram.add pooled v)
+        xs;
+      List.iter
+        (fun v ->
+          Histogram.add b v;
+          Histogram.add pooled v)
+        ys;
+      Histogram.merge ~into:a b;
+      Histogram.count a = Histogram.count pooled
+      && Histogram.sum a = Histogram.sum pooled
+      && Histogram.min a = Histogram.min pooled
+      && Histogram.max a = Histogram.max pooled
+      && Histogram.buckets a = Histogram.buckets pooled
+      && List.for_all
+           (fun q -> Histogram.quantile a q = Histogram.quantile pooled q)
+           [ 0.01; 0.25; 0.5; 0.9; 0.95; 0.99; 1.0 ])
+
+let test_trace_drop_accounting () =
+  (* length + dropped always equals the number of accepted emits. *)
+  let t = Trace.create ~capacity:4 () in
+  for k = 0 to 99 do
+    Trace.emit t ~now:k (ev k);
+    check_int
+      (Printf.sprintf "emit %d conserved" k)
+      (k + 1)
+      (Trace.length t + Trace.dropped t)
+  done;
+  check_int "length capped" 4 (Trace.length t);
+  check_int "drops" 96 (Trace.dropped t);
+  (* Filtered-out events are rejected, not dropped: the drop counter
+     only counts ring overwrites. *)
+  let f = Trace.create ~capacity:4 ~filter:[ Trace.Purge ] () in
+  for k = 0 to 9 do
+    Trace.emit f ~now:k (ev k)
+  done;
+  check_int "filtered emits not counted as drops" 0 (Trace.dropped f);
+  check_int "filtered emits not stored" 0 (Trace.length f)
+
+(* One instance of every event constructor: the audit layer compares
+   streams by (cycle, label), so labels and core attribution are part of
+   the stable API surface. *)
+let every_event =
+  [
+    ( Trace.Counter { core = 2; name = "rob"; value = 12 },
+      Some 2, "counter core=2 rob=12" );
+    (Trace.Cache_miss { cache = "l1d.0"; line = 42 }, None,
+     "miss l1d.0 line=0x2a");
+    (Trace.Cache_fill { cache = "l1d.0"; line = 42 }, None,
+     "fill l1d.0 line=0x2a");
+    (Trace.Arb_grant { core = 1; kind = "creq" }, Some 1,
+     "arb_grant core=1 kind=creq");
+    (Trace.Arb_idle { core = 3 }, Some 3, "arb_idle core=3");
+    (Trace.Mshr_alloc { core = 0; idx = 3; line = 42 }, Some 0,
+     "mshr_alloc core=0 idx=3 line=0x2a");
+    (Trace.Mshr_free { core = 0; idx = 3 }, Some 0, "mshr_free core=0 idx=3");
+    (Trace.Uq_send { core = 1; line = 42 }, Some 1, "uq_send core=1 line=0x2a");
+    (Trace.Dq_retry { core = 1; idx = 2 }, Some 1, "dq_retry core=1 idx=2");
+    ( Trace.Dram_cmd { bank = 4; read = true; row_hit = false; line = 42 },
+      None, "dram_read bank=4 row_miss line=0x2a" );
+    (Trace.Purge_begin { core = 0; kind = "enter" }, Some 0,
+     "purge_begin core=0 kind=enter");
+    (Trace.Purge_phase { core = 0; phase = "caches" }, Some 0,
+     "purge_phase core=0 phase=caches");
+    (Trace.Purge_end { core = 0; cycles = 84 }, Some 0,
+     "purge_end core=0 cycles=84");
+    (Trace.Walk_start { core = 1; vpage = 7 }, Some 1,
+     "walk_start core=1 vpage=0x7");
+    (Trace.Walk_end { core = 1; vpage = 7; reads = 2 }, Some 1,
+     "walk_end core=1 vpage=0x7 reads=2");
+  ]
+
+let test_trace_event_api_stable () =
+  List.iter
+    (fun (ev, core, label) ->
+      check_str label label (Trace.event_label ev);
+      Alcotest.(check (option int)) label core (Trace.event_core ev))
+    every_event;
+  (* Labels are pairwise distinct: no two constructors can alias in a
+     stream comparison. *)
+  let labels = List.map (fun (ev, _, _) -> Trace.event_label ev) every_event in
+  check_int "distinct labels" (List.length labels)
+    (List.length (List.sort_uniq compare labels))
+
 (* ------------------------------------------------------------------ *)
 (* Json                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -215,6 +309,221 @@ let test_metrics_scoping_and_export () =
   check_bool "csv has histogram row" true
     (contains csv "core.0.load_latency.p50,")
 
+(* ------------------------------------------------------------------ *)
+(* Cpistack                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_cpistack_accounting () =
+  let s =
+    Cpistack.v ~label:"BASE" ~total:100
+      [ ("base", 60); ("l1_miss", 30); ("other", 10) ]
+  in
+  check_int "attributed" 100 (Cpistack.attributed s);
+  check_int "residual" 0 (Cpistack.residual s);
+  check_bool "sums exactly" true (Cpistack.sums_exactly s);
+  check_int "missing category reads 0" 0 (Cpistack.cycles s "purge");
+  Alcotest.(check (float 1e-9)) "share" 0.6 (Cpistack.share s "base");
+  let leaky = Cpistack.v ~label:"X" ~total:100 [ ("base", 90) ] in
+  check_int "residual exposed" 10 (Cpistack.residual leaky);
+  check_bool "not exact" false (Cpistack.sums_exactly leaky);
+  (match Cpistack.v ~label:"X" ~total:1 [ ("bogus", 1) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown category accepted")
+
+let test_cpistack_of_counters () =
+  (* Reads only the prefixed counters, ignoring everything else. *)
+  let s =
+    Cpistack.of_counters ~label:"v" ~total:50
+      [
+        ("core.cpi.base", 20); ("core.cpi.llc_dram", 30);
+        ("llc.misses", 999); ("core.commits", 999);
+      ]
+  in
+  check_bool "sums exactly" true (Cpistack.sums_exactly s);
+  check_int "base" 20 (Cpistack.cycles s "base");
+  check_int "llc_dram" 30 (Cpistack.cycles s "llc_dram")
+
+let test_cpistack_rendering () =
+  let s =
+    Cpistack.v ~label:"BASE" ~total:10 [ ("base", 6); ("purge", 4) ]
+  in
+  let folded = Cpistack.to_folded ~stem:"gcc;BASE" s in
+  check_bool "folded line present" true
+    (List.mem "gcc;BASE;purge 4" (String.split_on_char '\n' folded));
+  let table = Cpistack.table [ s ] in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "table names the stack" true (contains table "BASE");
+  check_bool "table has the purge row" true (contains table "purge");
+  (* JSON rendering reparses and carries the totals. *)
+  let json = Json.of_string (Json.to_string (Cpistack.to_json s)) in
+  (match Json.member "total_cycles" json with
+  | Some (Json.Int 10) -> ()
+  | _ -> Alcotest.fail "total_cycles missing")
+
+(* ------------------------------------------------------------------ *)
+(* Audit                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stream_a =
+  [
+    (1, Trace.Arb_grant { core = 0; kind = "creq" });
+    (2, Trace.Mshr_alloc { core = 0; idx = 0; line = 7 });
+    (5, Trace.Dram_cmd { bank = 0; read = true; row_hit = false; line = 7 });
+    (9, Trace.Mshr_free { core = 0; idx = 0 });
+  ]
+
+let test_audit_identical_streams_clean () =
+  let r = Audit.diff stream_a stream_a in
+  check_bool "clean" true (Audit.clean r);
+  check_bool "no leaking channels" true (Audit.leaking_channels r = []);
+  check_bool "no first channel" true (Audit.first_leaking_channel r = None);
+  (* Every populated channel reports its event count on both sides. *)
+  List.iter
+    (fun v ->
+      check_int
+        (Audit.channel_name v.Audit.v_channel)
+        v.Audit.v_events_a v.Audit.v_events_b)
+    r.Audit.r_channels
+
+let test_audit_localizes_divergence () =
+  (* Same events, but the DRAM command slips by one cycle: only the DRAM
+     channel may be blamed, at the right position. *)
+  let stream_b =
+    List.map
+      (fun (c, ev) ->
+        match ev with Trace.Dram_cmd _ -> (c + 1, ev) | _ -> (c, ev))
+      stream_a
+  in
+  let r = Audit.diff ~label_a:"idle" ~label_b:"flood" stream_a stream_b in
+  check_bool "not clean" false (Audit.clean r);
+  (match r.Audit.r_first with
+  | Some d ->
+    check_int "diverges at the dram event" 2 d.Audit.d_index;
+    Alcotest.(check (option int)) "cycle a" (Some 5) d.Audit.d_cycle_a;
+    Alcotest.(check (option int)) "cycle b" (Some 6) d.Audit.d_cycle_b
+  | None -> Alcotest.fail "no overall divergence");
+  (match Audit.leaking_channels r with
+  | [ Audit.Dram ] -> ()
+  | chs ->
+    Alcotest.fail
+      (Printf.sprintf "blamed %d channels, wanted exactly dram-cmd"
+         (List.length chs)));
+  check_bool "first leaking channel" true
+    (Audit.first_leaking_channel r = Some Audit.Dram)
+
+let test_audit_length_mismatch () =
+  (* A truncated stream diverges at the end-of-stream marker. *)
+  let short = [ List.hd stream_a ] in
+  let r = Audit.diff stream_a short in
+  check_bool "not clean" false (Audit.clean r);
+  (match r.Audit.r_first with
+  | Some d ->
+    check_int "diverges where b ends" 1 d.Audit.d_index;
+    Alcotest.(check (option int)) "b ran out" None d.Audit.d_cycle_b;
+    check_str "eos label" Audit.eos d.Audit.d_label_b
+  | None -> Alcotest.fail "no divergence on truncation");
+  (* The report renders and its JSON reparses. *)
+  let rendered = Format.asprintf "%a" Audit.pp_report r in
+  check_bool "report mentions divergence" true (String.length rendered > 0);
+  let json = Json.of_string (Json.to_string (Audit.report_to_json r)) in
+  (match Json.member "clean" json with
+  | Some (Json.Bool false) -> ()
+  | _ -> Alcotest.fail "clean flag missing")
+
+(* ------------------------------------------------------------------ *)
+(* Perfdb                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sample_record ?(run_id = "0001-abc") ?(variant = "BASE") ?(bench = "gcc")
+    ?(cycles = 1000) ?(ipc = 0.5) () =
+  {
+    Perfdb.run_id;
+    commit = "abc";
+    variant;
+    bench;
+    cycles;
+    instrs = 500;
+    ipc;
+    cpi = [ ("base", 400); ("llc_dram", 600) ];
+    quantiles = [ ("core.0.load_latency", (3, 40, 130)) ];
+  }
+
+let test_perfdb_json_roundtrip () =
+  let r = sample_record () in
+  match Perfdb.record_of_json (Json.of_string (Json.to_string (Perfdb.record_to_json r))) with
+  | Ok r' -> check_bool "roundtrip" true (r = r')
+  | Error msg -> Alcotest.fail msg
+
+let test_perfdb_append_load () =
+  let path = Filename.temp_file "mi6_history" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Sys.remove path;
+      check_bool "missing file is empty history" true
+        (Perfdb.load ~path = []);
+      let run1 =
+        [ sample_record (); sample_record ~variant:"F+P+M+A" ~cycles:1200 () ]
+      in
+      Perfdb.append ~path run1;
+      let run2_id =
+        Perfdb.next_run_id (Perfdb.load ~path) ~commit:"def"
+      in
+      check_str "sequential id" "0002-def" run2_id;
+      Perfdb.append ~path
+        [ sample_record ~run_id:run2_id ~cycles:1100 () ];
+      let all = Perfdb.load ~path in
+      check_int "all records" 3 (List.length all);
+      Alcotest.(check (list string))
+        "run ids in order" [ "0001-abc"; "0002-def" ] (Perfdb.run_ids all);
+      match Perfdb.latest_two all with
+      | Some (prev, latest) ->
+        check_int "previous run size" 2 (List.length prev);
+        check_int "latest run size" 1 (List.length latest)
+      | None -> Alcotest.fail "latest_two missing")
+
+let test_perfdb_compare_runs () =
+  let old_run =
+    [ sample_record (); sample_record ~variant:"PART" ~cycles:2000 ~ipc:0.8 () ]
+  in
+  (* Within thresholds: 3% slower is not a regression at 5%. *)
+  let ok_run =
+    [
+      sample_record ~run_id:"0002-abc" ~cycles:1030 ();
+      sample_record ~run_id:"0002-abc" ~variant:"PART" ~cycles:2000 ~ipc:0.8 ();
+    ]
+  in
+  check_bool "within thresholds" true
+    (Perfdb.compare_runs ~old_run ~new_run:ok_run () = []);
+  (* A 10% cycle regression on one pair and an IPC collapse on the other
+     must each be reported once, attributed to the right pair. *)
+  let bad_run =
+    [
+      sample_record ~run_id:"0003-abc" ~cycles:1100 ();
+      sample_record ~run_id:"0003-abc" ~variant:"PART" ~cycles:2000 ~ipc:0.6 ();
+    ]
+  in
+  let regs = Perfdb.compare_runs ~old_run ~new_run:bad_run () in
+  check_int "two regressions" 2 (List.length regs);
+  let metric v =
+    match
+      List.find_opt (fun r -> r.Perfdb.r_variant = v) regs
+    with
+    | Some r -> r.Perfdb.r_metric
+    | None -> "missing"
+  in
+  check_str "cycle regression on BASE" "cycles" (metric "BASE");
+  check_str "ipc regression on PART" "ipc" (metric "PART");
+  (* Loosening the thresholds silences both. *)
+  check_bool "loose thresholds pass" true
+    (Perfdb.compare_runs ~max_cycle_regress_pct:50.0 ~max_ipc_drop_pct:50.0
+       ~old_run ~new_run:bad_run ()
+    = [])
+
 let () =
   Alcotest.run "mi6_obs"
     [
@@ -228,11 +537,14 @@ let () =
             test_hist_quantiles_uniform;
           Alcotest.test_case "negative clamps" `Quick test_hist_negative_clamps;
           Alcotest.test_case "merge and reset" `Quick test_hist_merge_reset;
+          QCheck_alcotest.to_alcotest test_hist_merge_matches_pooled;
         ] );
       ( "trace",
         [
           Alcotest.test_case "ring overflow drops oldest" `Quick
             test_trace_ring_overflow;
+          Alcotest.test_case "drop accounting conserved" `Quick
+            test_trace_drop_accounting;
           Alcotest.test_case "category filter" `Quick test_trace_filter;
           Alcotest.test_case "null trace disabled" `Quick
             test_trace_null_disabled;
@@ -240,6 +552,31 @@ let () =
           Alcotest.test_case "chrome json export" `Quick test_trace_chrome_json;
           Alcotest.test_case "stable labels" `Quick
             test_trace_event_labels_stable;
+          Alcotest.test_case "event core/label stable for every constructor"
+            `Quick test_trace_event_api_stable;
+        ] );
+      ( "cpistack",
+        [
+          Alcotest.test_case "accounting invariants" `Quick
+            test_cpistack_accounting;
+          Alcotest.test_case "of_counters" `Quick test_cpistack_of_counters;
+          Alcotest.test_case "rendering" `Quick test_cpistack_rendering;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "identical streams are clean" `Quick
+            test_audit_identical_streams_clean;
+          Alcotest.test_case "localizes a one-cycle slip" `Quick
+            test_audit_localizes_divergence;
+          Alcotest.test_case "length mismatch" `Quick test_audit_length_mismatch;
+        ] );
+      ( "perfdb",
+        [
+          Alcotest.test_case "record json roundtrip" `Quick
+            test_perfdb_json_roundtrip;
+          Alcotest.test_case "append and load" `Quick test_perfdb_append_load;
+          Alcotest.test_case "compare_runs thresholds" `Quick
+            test_perfdb_compare_runs;
         ] );
       ( "json",
         [
