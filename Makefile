@@ -1,6 +1,6 @@
 # Convenience wrapper around dune; `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench-smoke audit-smoke perf-compare ci clean
+.PHONY: all build test bench-smoke audit-smoke sweep-smoke perf-compare ci clean
 
 all: build
 
@@ -22,13 +22,22 @@ bench-smoke:
 audit-smoke:
 	dune exec bin/mi6_sim.exe -- audit --json audit.json
 
+# Domain-parallel sweep determinism gate: the --stats-json snapshot must
+# be byte-identical no matter how many domains ran the cells.
+sweep-smoke:
+	dune exec bin/mi6_sim.exe -- sweep -b gcc,mcf -v base,f+p+m+a --seeds 2 \
+		--warmup 2000 --measure 5000 --jobs 1 --stats-json sweep-serial.json
+	dune exec bin/mi6_sim.exe -- sweep -b gcc,mcf -v base,f+p+m+a --seeds 2 \
+		--warmup 2000 --measure 5000 --jobs 2 --stats-json sweep-parallel.json
+	cmp sweep-serial.json sweep-parallel.json
+
 # Diff the two most recent bench runs in BENCH_history.jsonl; exits
 # nonzero on a cycle or IPC regression past the default 5% thresholds.
 perf-compare:
 	dune exec bench/compare.exe
 
-ci: build test bench-smoke audit-smoke
+ci: build test bench-smoke audit-smoke sweep-smoke
 
 clean:
 	dune clean
-	rm -f BENCH_run.json audit.json
+	rm -f BENCH_run.json audit.json sweep-serial.json sweep-parallel.json

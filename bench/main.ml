@@ -42,6 +42,50 @@ let result variant bench =
     Hashtbl.add cache (variant, bench) r;
     r
 
+(* The exact (variant, bench) cells a figure resolves through the run
+   cache.  --jobs prefills these on a domain pool before the figures
+   print; the enumeration must not over-approximate, or a parallel run's
+   cache (and so BENCH_run.json / the history) would hold entries a
+   serial run never computes. *)
+let fig_cells name =
+  let grid vs =
+    List.concat_map (fun v -> List.map (fun b -> (v, b)) benches) vs
+  in
+  match name with
+  | "fig5" | "fig7" -> grid [ Config.Base; Config.Flush ]
+  | "fig6" -> grid [ Config.Flush ]
+  | "fig8" | "fig9" -> grid [ Config.Base; Config.Part ]
+  | "fig10" -> grid [ Config.Base; Config.Miss ]
+  | "fig11" -> grid [ Config.Base; Config.Arb ]
+  | "fig12" -> grid [ Config.Base; Config.Nonspec ]
+  | "fig13" -> grid [ Config.Base; Config.Fpma ]
+  | "ablation" ->
+    List.map
+      (fun b -> (Config.Base, b))
+      [ Mi6_workload.Spec.Astar; Mi6_workload.Spec.Xalancbmk;
+        Mi6_workload.Spec.Gcc ]
+  | _ -> []
+
+let prefill ~jobs fig_names =
+  let cells =
+    List.sort_uniq compare (List.concat_map fig_cells fig_names)
+    |> List.filter (fun cell -> not (Hashtbl.mem cache cell))
+  in
+  if jobs > 1 && cells <> [] then begin
+    Printf.eprintf "  [prefill] %d runs on %d domains\n%!" (List.length cells)
+      jobs;
+    let pool = Mi6_exec.Pool.create ~domains:jobs in
+    Fun.protect
+      ~finally:(fun () -> Mi6_exec.Pool.shutdown pool)
+      (fun () ->
+        let results =
+          Mi6_exec.Pool.run_list pool cells (fun (variant, bench) ->
+              Tmachine.run_spec ~variant ~bench ~warmup:!warmup
+                ~measure:!measure ())
+        in
+        List.iter2 (fun cell r -> Hashtbl.add cache cell r) cells results)
+  end
+
 let overhead variant bench =
   let base = result Config.Base bench in
   let v = result variant bench in
@@ -716,6 +760,22 @@ let () =
     warmup := 60_000;
     measure := 150_000
   end;
+  let jobs, args =
+    let rec go acc = function
+      | [] -> (1, List.rev acc)
+      | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> (j, List.rev_append acc rest)
+        | _ ->
+          prerr_endline "bench: --jobs wants a positive integer";
+          exit 2)
+      | [ "--jobs" ] ->
+        prerr_endline "bench: --jobs wants a positive integer";
+        exit 2
+      | a :: rest -> go (a :: acc) rest
+    in
+    go [] args
+  in
   let wanted = List.filter (fun a -> a <> "--fast") args in
   Printf.printf
     "MI6 evaluation harness: %d SPEC CINT2006 models x 7 processor variants \
@@ -736,6 +796,7 @@ let () =
               None)
           wanted
     in
+    prefill ~jobs (List.map fst figs);
     List.iter (fun (_, f) -> f ()) figs;
     emit_run_json ~fast;
     append_history ()

@@ -3,6 +3,8 @@
    Subcommands:
      run     run SPEC models on processor variants (default)
      multi   multiprogrammed multicore run (BASE vs secure MI6 machine)
+     sweep   domain-parallel (variant x bench x seed) grid with
+             deterministic merge (--jobs N)
      attack  side-channel verdicts (prime+probe, MSHR, DRAM banks)
      audit   leakage audit: victim event streams diffed across attackers
      profile CPI-stack attribution of a run, per variant
@@ -36,6 +38,21 @@ let warmup =
 
 let measure =
   Arg.(value & opt int 1_000_000 & info [ "measure" ] ~doc:"Measured µops.")
+
+let jobs =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Domains to run independent simulations on.  1 (the \
+                 default) stays on the calling domain; results and any \
+                 JSON output are byte-identical for every N.")
+
+(* Run [f] on a fresh pool; the pool is joined even when [f] raises.
+   ([exit] inside [f] skips the join — process teardown reaps the
+   workers, which only ever park on their condition variable.) *)
+let with_pool ~jobs f =
+  let pool = Mi6_exec.Pool.create ~domains:jobs in
+  Fun.protect ~finally:(fun () -> Mi6_exec.Pool.shutdown pool)
+    (fun () -> f pool)
 
 (* ------------------------------------------------------------------ *)
 (* Observability options (shared by run and multi)                     *)
@@ -232,6 +249,98 @@ let multi_cmd =
           $ trace_text_file $ trace_filter $ stats_json_file $ stats_csv_file)
 
 (* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let benches =
+    Arg.(value & opt (list bench_conv) Mi6_workload.Spec.all
+         & info [ "b"; "bench" ] ~doc:"Benchmarks (comma separated).")
+  in
+  let variants =
+    Arg.(value
+         & opt (list variant_conv)
+             [ Config.Base; Config.Flush; Config.Part; Config.Fpma ]
+         & info [ "v"; "variant" ] ~doc:"Processor variants (comma separated).")
+  in
+  let seeds =
+    Arg.(value & opt int 1
+         & info [ "seeds" ] ~docv:"K"
+             ~doc:"Stream seeds per (variant, bench) pair: seed 0 is the \
+                   canonical stream, higher seeds deterministic \
+                   perturbations of it.")
+  in
+  let history_file =
+    Arg.(value & opt (some string) None
+         & info [ "history" ] ~docv:"FILE"
+             ~doc:"Append one Perfdb record per cell plus a wall-clock \
+                   record for this invocation to $(docv) (JSONL).")
+  in
+  let run benches variants seeds warmup measure jobs stats_json_file
+      history_file =
+    let open Mi6_obs in
+    let module Sweep = Mi6_exec.Sweep in
+    let cells = Sweep.cells ~seeds ~variants ~benches () in
+    Printf.printf "sweep: %d cells (%d benches x %d variants x %d seeds), \
+                   %d warmup + %d measured µops, jobs=%d\n%!"
+      (List.length cells) (List.length benches) (List.length variants) seeds
+      warmup measure jobs;
+    let t0 = Unix.gettimeofday () in
+    let outcomes =
+      with_pool ~jobs (fun pool -> Sweep.run pool ~warmup ~measure cells)
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    List.iter
+      (fun (o : Sweep.outcome) ->
+        let r = o.Sweep.result in
+        Printf.printf "%-24s cycles=%-10d instrs=%-9d ipc=%.3f llc-mpki=%.1f\n"
+          (Sweep.cell_name o.Sweep.cell)
+          r.Tmachine.cycles r.Tmachine.instrs (Tmachine.ipc r)
+          (Tmachine.mpki r "llc.misses"))
+      outcomes;
+    (* The parseable wall-clock line CI's speedup check greps for.  Wall
+       time deliberately stays out of the JSON snapshot so serial and
+       parallel sweeps serialize identically. *)
+    Printf.printf "sweep-wall jobs=%d cells=%d seconds=%.3f\n%!" jobs
+      (List.length cells) wall;
+    (match stats_json_file with
+    | Some path ->
+      write_file path (Json.to_string (Sweep.to_json ~warmup ~measure outcomes));
+      Printf.printf "sweep metrics -> %s\n%!" path
+    | None -> ());
+    match history_file with
+    | Some path ->
+      let commit = Perfdb.git_commit () in
+      let run_id = Perfdb.next_run_id (Perfdb.load ~path) ~commit in
+      let records = Sweep.to_perfdb_records ~run_id ~commit outcomes in
+      let wall_record =
+        {
+          Perfdb.run_id;
+          commit;
+          variant = "sweep";
+          bench = Printf.sprintf "wall-jobs-%d" jobs;
+          cycles = int_of_float (wall *. 1000.0);  (* milliseconds *)
+          instrs = List.length cells;
+          ipc = 0.0;
+          cpi = [];
+          quantiles = [];
+        }
+      in
+      Perfdb.append ~path (records @ [ wall_record ]);
+      Printf.printf "appended run %s (%d records) -> %s\n%!" run_id
+        (List.length records + 1) path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "domain-parallel (variant x bench x seed) sweep with a \
+          deterministic merge: --stats-json output is byte-identical for \
+          every --jobs value")
+    Term.(const run $ benches $ variants $ seeds $ warmup $ measure $ jobs
+          $ stats_json_file $ history_file)
+
+(* ------------------------------------------------------------------ *)
 (* attack                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -291,42 +400,63 @@ let audit_cmd =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE" ~doc:"Write the audit report as JSON.")
   in
-  let run attackers json_file =
+  let run attackers json_file jobs =
     let open Mi6_obs in
     print_endline
       "Leakage audit (paper Section 5.4): the victim's cycle-stamped view of \
        the shared memory system,\ndiffed event-for-event between an idle \
        attacker and each adversarial behaviour.";
     print_newline ();
-    let audit_setup name setup =
-      let capture attacker =
-        let events, drops =
-          Noninterference.victim_llc_events setup ~attacker
-        in
+    (* Fan the whole (setup x attacker) grid out over the pool — every
+       capture builds its own hierarchy and trace ring — then walk the
+       results in canonical grid order, so the report is identical for
+       every --jobs value. *)
+    let grid = Noninterference.audit_grid ~attackers () in
+    let captures =
+      with_pool ~jobs (fun pool ->
+          Mi6_exec.Pool.run_list pool grid Noninterference.run_audit_cell)
+    in
+    let capture_of =
+      let tbl = List.combine grid captures in
+      fun cell name ->
+        let events, drops = List.assq cell tbl in
         if drops > 0 then
           Printf.eprintf
-            "warning: %s/%s trace ring dropped %d events; audit is \
+            "warning: %s trace ring dropped %d events; audit is \
              unreliable\n%!"
-            name
-            (Noninterference.attacker_name attacker)
-            drops;
+            name drops;
         events
+    in
+    let audit_setup name =
+      let cells =
+        List.filter
+          (fun c -> c.Noninterference.cell_setup_name = name)
+          grid
       in
-      let reference = capture Noninterference.A_idle in
+      let reference, rest =
+        match cells with
+        | ref_cell :: rest
+          when ref_cell.Noninterference.cell_attacker = Noninterference.A_idle
+          ->
+          (capture_of ref_cell (Noninterference.audit_cell_name ref_cell), rest)
+        | _ -> failwith "audit grid lost its idle reference"
+      in
       List.map
-        (fun attacker ->
+        (fun cell ->
+          let attacker = cell.Noninterference.cell_attacker in
           let r =
             Audit.diff ~label_a:"idle"
               ~label_b:(Noninterference.attacker_name attacker)
-              reference (capture attacker)
+              reference
+              (capture_of cell (Noninterference.audit_cell_name cell))
           in
           Printf.printf "[%s LLC] %s\n" name
             (Format.asprintf "%a" Audit.pp_report r);
           r)
-        attackers
+        rest
     in
-    let baseline = audit_setup "baseline" Noninterference.baseline_setup in
-    let mi6 = audit_setup "mi6" Noninterference.mi6_setup in
+    let baseline = audit_setup "baseline" in
+    let mi6 = audit_setup "mi6" in
     let mi6_clean = List.for_all Audit.clean mi6 in
     let baseline_channel =
       List.find_map Audit.first_leaking_channel baseline
@@ -397,7 +527,7 @@ let audit_cmd =
        ~doc:
          "leakage audit: diff the victim's event timeline across attacker \
           behaviours on the baseline and MI6 LLCs")
-    Term.(const run $ attackers $ json_file)
+    Term.(const run $ attackers $ json_file $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                             *)
@@ -423,8 +553,22 @@ let profile_cmd =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE" ~doc:"Write all CPI stacks as JSON.")
   in
-  let run benches variants warmup measure folded_file json_file =
+  let run benches variants warmup measure folded_file json_file jobs =
     let open Mi6_obs in
+    (* Prefill every (bench, variant) run on the pool; the serial report
+       below reads from this table, so its output does not depend on
+       --jobs. *)
+    let pairs =
+      List.concat_map
+        (fun bench -> List.map (fun variant -> (bench, variant)) variants)
+        benches
+    in
+    let results =
+      with_pool ~jobs (fun pool ->
+          Mi6_exec.Pool.run_list pool pairs (fun (bench, variant) ->
+              Tmachine.run_spec ~variant ~bench ~warmup ~measure ()))
+    in
+    let table = List.combine pairs results in
     let folded = Buffer.create 256 in
     let all_stacks = ref [] in
     let failed = ref false in
@@ -434,7 +578,7 @@ let profile_cmd =
         let stacks =
           List.map
             (fun variant ->
-              let r = Tmachine.run_spec ~variant ~bench ~warmup ~measure () in
+              let r = List.assoc (bench, variant) table in
               (match
                  List.assoc_opt "trace.dropped_events"
                    (Metrics.counters r.Tmachine.metrics)
@@ -509,7 +653,7 @@ let profile_cmd =
          "top-down CPI-stack attribution per variant (where every cycle \
           went: commits, mispredicts, L1/LLC/DRAM stalls, TLB walks, purges)")
     Term.(const run $ benches $ variants $ warmup $ measure $ folded_file
-          $ json_file)
+          $ json_file $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* area                                                                *)
@@ -537,4 +681,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:Term.(ret (const (`Help (`Pager, None))))
           (Cmd.info "mi6_sim" ~doc)
-          [ run_cmd; multi_cmd; attack_cmd; audit_cmd; profile_cmd; area_cmd ]))
+          [ run_cmd; multi_cmd; sweep_cmd; attack_cmd; audit_cmd; profile_cmd;
+            area_cmd ]))

@@ -293,3 +293,39 @@ let leaks observations =
   match observations with
   | [] -> false
   | first :: rest -> List.exists (fun o -> o <> first) rest
+
+(* ------------------------------------------------------------------ *)
+(* Audit grid                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type audit_cell = {
+  cell_setup_name : string;
+  cell_setup : llc_setup;
+  cell_attacker : attacker;
+}
+
+let audit_setups = [ ("baseline", baseline_setup); ("mi6", mi6_setup) ]
+
+let audit_grid ?(setups = audit_setups) ~attackers () =
+  (* Canonical enumeration: setups in given order, the idle reference
+     first within each, then the requested behaviours in [all_attackers]
+     order with duplicates dropped.  Every capture in the grid is
+     self-contained (each cell builds its own hierarchy and trace ring),
+     so a pool may run the cells in any order; consumers index results by
+     cell and the report stays deterministic. *)
+  let attackers =
+    List.filter
+      (fun a -> a <> A_idle && List.mem a attackers)
+      all_attackers
+  in
+  List.concat_map
+    (fun (cell_setup_name, cell_setup) ->
+      List.map
+        (fun cell_attacker -> { cell_setup_name; cell_setup; cell_attacker })
+        (A_idle :: attackers))
+    setups
+
+let audit_cell_name c =
+  c.cell_setup_name ^ "/" ^ attacker_name c.cell_attacker
+
+let run_audit_cell c = victim_observation c.cell_setup ~attacker:c.cell_attacker

@@ -76,3 +76,33 @@ val victim_timeline : llc_setup -> attacker_floods:bool -> string list
 (** [leaks observations] — true when any two observations differ (the
     attacker can distinguish victim behaviours). *)
 val leaks : int list list -> bool
+
+(** One capture of the leakage-audit grid: a named LLC setup paired with
+    an attacker behaviour. *)
+type audit_cell = {
+  cell_setup_name : string;
+  cell_setup : llc_setup;
+  cell_attacker : attacker;
+}
+
+(** The audit's canonical setups, in report order:
+    [("baseline", baseline_setup); ("mi6", mi6_setup)]. *)
+val audit_setups : (string * llc_setup) list
+
+(** [audit_grid ~attackers ()] — the canonical cell enumeration the audit
+    fans out over: every setup (default {!audit_setups}, given order)
+    crossed with the idle reference followed by the requested behaviours
+    ({!all_attackers} order, duplicates and explicit idle dropped).  Each
+    cell's capture is self-contained, so the grid may be run on any
+    number of domains; results indexed by cell reproduce the serial
+    report exactly. *)
+val audit_grid :
+  ?setups:(string * llc_setup) list -> attackers:attacker list -> unit ->
+  audit_cell list
+
+(** ["setup/attacker"], e.g. ["mi6/flood"]. *)
+val audit_cell_name : audit_cell -> string
+
+(** [run_audit_cell c] — {!victim_llc_events} for the cell. *)
+val run_audit_cell :
+  audit_cell -> (int * Mi6_obs.Trace.event) list * int

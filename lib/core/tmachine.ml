@@ -163,16 +163,26 @@ let run_stream ?trace ~timing ~stream ~warmup ~measure () =
       ~instrs:(Core.committed_instructions c - instrs0)
       ~stats:(Stats.diff stats ~baseline:base)
 
-let spec_stream ~core ~bench ~limit =
+let spec_stream ?(seed = 0) ~core ~bench ~limit () =
+  let data_base = data_base ~core
+  and code_base = code_base ~core
+  and kernel_base = kernel_base ~core in
   let gen =
-    Mi6_workload.Synth.for_bench bench ~data_base:(data_base ~core)
-      ~code_base:(code_base ~core) ~kernel_base:(kernel_base ~core)
+    if seed = 0 then
+      Mi6_workload.Synth.for_bench bench ~data_base ~code_base ~kernel_base
+    else
+      (* Seed offsets perturb the bench's canonical seed deterministically,
+         giving sweep cells independent-but-reproducible streams. *)
+      Mi6_workload.Synth.create
+        (Mi6_workload.Spec.params bench)
+        ~seed:(Mi6_workload.Spec.seed bench + (seed * 0x9e3779b9))
+        ~data_base ~code_base ~kernel_base
   in
   Mi6_workload.Synth.stream gen ~limit
 
-let run_spec ?trace ~variant ~bench ~warmup ~measure () =
+let run_spec ?trace ?seed ~variant ~bench ~warmup ~measure () =
   let timing = Config.timing ~cores:1 variant in
-  let stream = spec_stream ~core:0 ~bench ~limit:(warmup + measure) in
+  let stream = spec_stream ?seed ~core:0 ~bench ~limit:(warmup + measure) () in
   run_stream ?trace ~timing ~stream ~warmup ~measure ()
 
 (* Multiprogrammed run: one SPEC model per core, each confined to its own
@@ -183,7 +193,7 @@ let run_multi ?trace ~timing ~benches ~warmup ~measure () =
   let stats = Stats.create () in
   let streams =
     Array.init n (fun i ->
-        spec_stream ~core:i ~bench:benches.(i) ~limit:(warmup + measure))
+        spec_stream ~core:i ~bench:benches.(i) ~limit:(warmup + measure) ())
   in
   let m = create ?trace timing ~streams ~stats in
   let snaps = Array.make n None in

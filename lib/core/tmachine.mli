@@ -49,9 +49,13 @@ val mpki : result -> string -> float
 
 (** [run_spec ~variant ~bench ~warmup ~measure] runs a SPEC model on a
     variant machine: [warmup] µops untimed, then [measure] µops
-    measured. *)
+    measured.  [seed] (default 0) is a deterministic offset on the
+    bench's canonical stream seed: 0 is the canonical stream, any other
+    value a reproducible perturbation — sweep cells use it to sample
+    independent streams of the same model. *)
 val run_spec :
   ?trace:Trace.t ->
+  ?seed:int ->
   variant:Config.variant ->
   bench:Mi6_workload.Spec.bench ->
   warmup:int ->

@@ -84,7 +84,10 @@ let assemble ~base items =
   {
     base;
     words = Array.of_list (List.rev !out);
-    labels = Hashtbl.fold (fun k v acc -> (k, v) :: acc) labels [];
+    (* Sorted so the exported program is independent of hash order. *)
+    labels =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) labels []);
   }
 
 let lookup p label = List.assoc label p.labels

@@ -4,9 +4,10 @@ type t = {
   mutable stats : (string * Stats.t) list; (* scope, table; newest first *)
   mutable hists : (string * Histogram.t) list;
   mutable ints : (string * int) list;
+  mutable acc : Stats.t option; (* merge accumulator, created on demand *)
 }
 
-let create () = { stats = []; hists = []; ints = [] }
+let create () = { stats = []; hists = []; ints = []; acc = None }
 let add_stats t ~scope stats = t.stats <- (scope, stats) :: t.stats
 let add_histogram t ~name h = t.hists <- (name, h) :: t.hists
 
@@ -25,6 +26,31 @@ let counters t =
   List.sort compare (of_stats @ t.ints)
 
 let histograms t = List.sort compare t.hists
+
+(* ------------------------------------------------------------------ *)
+(* Merging                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let merge ~into src =
+  let acc =
+    match into.acc with
+    | Some s -> s
+    | None ->
+      let s = Stats.create () in
+      into.acc <- Some s;
+      add_stats into ~scope:"" s;
+      s
+  in
+  List.iter (fun (name, v) -> Stats.add acc name v) (counters src);
+  List.iter
+    (fun (name, h) ->
+      match List.assoc_opt name into.hists with
+      | Some dst -> Histogram.merge ~into:dst h
+      | None ->
+        let dst = Histogram.create () in
+        Histogram.merge ~into:dst h;
+        add_histogram into ~name dst)
+    (histograms src)
 
 (* ------------------------------------------------------------------ *)
 (* Nested JSON                                                         *)

@@ -23,6 +23,17 @@ val add_histogram : t -> name:string -> Histogram.t -> unit
     cycles). *)
 val set_int : t -> name:string -> int -> unit
 
+(** [merge ~into src] folds [src]'s exported view into [into]: every
+    counter and gauge of [src] (fully qualified) is summed into an
+    accumulator table owned by [into], and every histogram is bucket-merged
+    into [into]'s histogram of the same name (created on first sight).
+
+    [into] is meant to be a fresh accumulator registry; because inputs are
+    read through the sorted export view and addition is commutative, folding
+    the same multiset of registries in any order yields identical exports —
+    the property the parallel sweep reducer relies on. *)
+val merge : into:t -> t -> unit
+
 (** All counters and gauges, fully qualified and sorted by name. *)
 val counters : t -> (string * int) list
 

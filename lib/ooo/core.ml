@@ -86,6 +86,7 @@ type t = {
   lq_issued_at : int array; (* per LQ slot: cycle the load issued *)
   load_lat : Histogram.t; (* load issue-to-complete, cache path only *)
   purge_lat : Histogram.t; (* full purge duration *)
+  mutable on_commit : Uop.t -> unit; (* retirement probe, default no-op *)
 }
 
 and rob_ref = { pre_uop : Uop.t; pre_mispredict : bool }
@@ -153,6 +154,7 @@ let create ?(trace = Trace.null) ?(id = 0) cfg ~l1i ~l1d ~stream ~stats
     now = 0;
     trace;
     id;
+    on_commit = ignore;
     purge_started = 0;
     lq_issued_at = Array.make cfg.Core_config.lq_entries 0;
     load_lat = Histogram.create ();
@@ -160,6 +162,7 @@ let create ?(trace = Trace.null) ?(id = 0) cfg ~l1i ~l1d ~stream ~stats
   }
 
 let committed_instructions t = t.committed
+let set_on_commit t f = t.on_commit <- f
 let purging t = t.purge <> Pp_none
 let load_latency t = t.load_lat
 let purge_latency t = t.purge_lat
@@ -474,6 +477,7 @@ let rename_stage t =
            variants, triggers the purge state machine.  Nothing younger
            may rename this cycle (the purge needs an empty machine). *)
         t.committed <- t.committed + 1;
+        t.on_commit u;
         Stats.incr t.stats "core.traps";
         if t.cfg.Core_config.flush_on_trap then begin
           begin_purge t
@@ -732,6 +736,7 @@ let commit_stage t =
           t.rob_head <- (t.rob_head + 1) mod Array.length t.rob;
           t.rob_count <- t.rob_count - 1;
           t.committed <- t.committed + 1;
+          t.on_commit e.u;
           decr budget
         end
       end

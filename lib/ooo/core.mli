@@ -50,6 +50,14 @@ val finished : t -> bool
 
 val committed_instructions : t -> int
 
+(** [set_on_commit t f] installs a retirement probe: [f u] fires once per
+    committed µop, in retirement (program) order, including the
+    [Enter_kernel]/[Exit_kernel] markers that commit at rename.  Default
+    is a no-op; used by the differential test harness to compare the
+    out-of-order core's retirement stream against the in-order reference
+    model. *)
+val set_on_commit : t -> (Uop.t -> unit) -> unit
+
 (** [purging t] — core is inside a purge (tests). *)
 val purging : t -> bool
 

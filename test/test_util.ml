@@ -81,6 +81,40 @@ let prop_fifo_model =
             else !model = [])
         ops)
 
+(* Forced fill/drain rounds march head and tail across the circular
+   boundary many times; the queue must track the list model at every
+   step, including peek and the full/empty flags at the extremes. *)
+let prop_fifo_wraparound =
+  QCheck.Test.make ~name:"fifo wraparound fill/drain rounds" ~count:200
+    QCheck.(pair (int_range 1 8) (small_list (int_range 0 8)))
+    (fun (cap, rounds) ->
+      let q = Fifo.create ~capacity:cap in
+      let model = ref [] in
+      let tick = ref 0 in
+      List.for_all
+        (fun k ->
+          let enqs = min k (cap - Fifo.length q) in
+          for _ = 1 to enqs do
+            incr tick;
+            Fifo.enq q !tick;
+            model := !model @ [ !tick ]
+          done;
+          let full_ok = Fifo.is_full q = (List.length !model = cap) in
+          let deqs = min k (Fifo.length q) in
+          let deq_ok = ref true in
+          for _ = 1 to deqs do
+            (match !model with
+            | m :: rest ->
+              deq_ok := !deq_ok && Fifo.peek q = m && Fifo.deq q = m;
+              model := rest
+            | [] -> deq_ok := false)
+          done;
+          full_ok && !deq_ok
+          && Fifo.to_list q = !model
+          && Fifo.is_empty q = (!model = [])
+          && Fifo.length q = List.length !model)
+        rounds)
+
 (* ------------------------------------------------------------------ *)
 (* Bitvec                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -240,6 +274,41 @@ let test_table_contains_rows () =
   check_bool "astar row" true (contains "astar" s);
   check_bool "column header" true (contains "ovh" s)
 
+(* Model for render: every label/cell appears, one line per row plus
+   title, header, and rule, and all lines are padded to equal width. *)
+let prop_table_render_model =
+  let cell = QCheck.Gen.(map (Printf.sprintf "c%d") (int_range 0 999)) in
+  let row =
+    QCheck.Gen.(
+      pair (map (Printf.sprintf "r%d") (int_range 0 999)) (list_size (return 2) cell))
+  in
+  QCheck.Test.make ~name:"table render matches row model" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 8) row))
+    (fun rows ->
+      let t = Table.create ~title:"T" ~columns:[ "a"; "b" ] in
+      List.iter (fun (l, cs) -> Table.add_row t l cs) rows;
+      let lines = String.split_on_char '\n' (Table.render t) in
+      (* title, header, rule, one line per row, trailing "". *)
+      List.length lines = 4 + List.length rows
+      && List.for_all2
+           (fun (l, cs) line ->
+             let mem s =
+               let nl = String.length s and hl = String.length line in
+               let rec go i =
+                 i + nl <= hl && (String.sub line i nl = s || go (i + 1))
+               in
+               go 0
+             in
+             List.for_all mem (l :: cs))
+           rows
+           (List.filteri (fun i _ -> i >= 3) lines
+           |> List.filter (fun l -> l <> ""))
+      &&
+      match List.filteri (fun i _ -> i >= 1) lines |> List.filter (( <> ) "") with
+      | [] -> rows = []
+      | body :: rest ->
+        List.for_all (fun l -> String.length l = String.length body) rest)
+
 (* ------------------------------------------------------------------ *)
 (* Sha256 / Hmac                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -321,7 +390,7 @@ let () =
           Alcotest.test_case "enq on full raises" `Quick test_fifo_enq_full;
           Alcotest.test_case "wraparound iteration" `Quick test_fifo_wraparound_iter;
         ]
-        @ qsuite [ prop_fifo_model ] );
+        @ qsuite [ prop_fifo_model; prop_fifo_wraparound ] );
       ( "bitvec",
         [
           Alcotest.test_case "set/get/clear" `Quick test_bitvec_basic;
@@ -348,7 +417,8 @@ let () =
         [
           Alcotest.test_case "cells and width check" `Quick test_table_cells;
           Alcotest.test_case "render contains rows" `Quick test_table_contains_rows;
-        ] );
+        ]
+        @ qsuite [ prop_table_render_model ] );
       ( "crypto",
         [
           Alcotest.test_case "sha256 NIST vectors" `Quick test_sha256_vectors;
