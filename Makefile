@@ -1,6 +1,6 @@
 # Convenience wrapper around dune; `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench-smoke audit-smoke sweep-smoke perf-compare ci clean
+.PHONY: all build test bench-smoke audit-smoke sweep-smoke lint perf-compare ci clean
 
 all: build
 
@@ -36,8 +36,30 @@ sweep-smoke:
 perf-compare:
 	dune exec bench/compare.exe
 
-ci: build test bench-smoke audit-smoke sweep-smoke
+# Static constant-time / hardware-invariant lint gate (exit codes:
+# 0 = clean, 1 = findings, 2 = usage/IO error):
+#   - the MI6 machine configuration must lint clean;
+#   - the BASE variant must be flagged, so the linter demonstrably sees
+#     violations;
+#   - every committed example program in examples/lint/ must get its
+#     expected verdict under a 32-instruction speculation window
+#     (ct_* clean, everything else flagged).
+lint:
+	dune build bin/mi6_sim.exe
+	dune exec bin/mi6_sim.exe -- lint --machine mi6 --json lint-mi6.json
+	sh -c 'dune exec bin/mi6_sim.exe -- lint --machine base --json lint-base.json; test $$? -eq 1'
+	sh -c 'dune exec bin/mi6_sim.exe -- lint --witness all --speculative 32 --json lint-witnesses.json; test $$? -eq 1'
+	for f in examples/lint/*.hex; do \
+		case $$f in examples/lint/ct_*) want=0 ;; *) want=1 ;; esac; \
+		dune exec bin/mi6_sim.exe -- lint --hex $$f --speculative 32; got=$$?; \
+		if [ $$got -ne $$want ]; then \
+			echo "lint: $$f exited $$got, expected $$want"; exit 1; \
+		fi; \
+	done
+
+ci: build test bench-smoke audit-smoke sweep-smoke lint
 
 clean:
 	dune clean
-	rm -f BENCH_run.json audit.json sweep-serial.json sweep-parallel.json
+	rm -f BENCH_run.json audit.json sweep-serial.json sweep-parallel.json \
+		lint-mi6.json lint-base.json lint-witnesses.json

@@ -8,7 +8,13 @@
      attack  side-channel verdicts (prime+probe, MSHR, DRAM banks)
      audit   leakage audit: victim event streams diffed across attackers
      profile CPI-stack attribution of a run, per variant
-     area    structural area model *)
+     area    structural area model
+     lint    static secret-taint / constant-time analysis of programs and
+             hardware-invariant linting of machine configurations
+
+   Exit codes are uniform across subcommands: 0 = clean, 1 = findings
+   (lint violations, leakage divergence, attribution residual), 2 =
+   usage or I/O error. *)
 
 open Cmdliner
 open Mi6_core
@@ -53,6 +59,25 @@ let with_pool ~jobs f =
   let pool = Mi6_exec.Pool.create ~domains:jobs in
   Fun.protect ~finally:(fun () -> Mi6_exec.Pool.shutdown pool)
     (fun () -> f pool)
+
+(* Exit-code discipline shared by every subcommand: 0 = clean, 1 =
+   findings, 2 = usage/IO error.  Term bodies return the code; file and
+   parse failures funnel to 2 here. *)
+let exits =
+  [
+    Cmd.Exit.info 0 ~doc:"on success, with no findings.";
+    Cmd.Exit.info 1
+      ~doc:
+        "when the command produced findings: lint violations, leakage \
+         divergence, a CPI-stack attribution residual.";
+    Cmd.Exit.info 2 ~doc:"on usage or I/O errors.";
+  ]
+
+let guard_io f =
+  try f () with
+  | Sys_error msg | Failure msg ->
+    Printf.eprintf "mi6_sim: error: %s\n%!" msg;
+    2
 
 (* ------------------------------------------------------------------ *)
 (* Observability options (shared by run and multi)                     *)
@@ -167,6 +192,7 @@ let run_cmd =
   let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Dump all counters.") in
   let run benches variants warmup measure verbose trace_file trace_text_file
       trace_filter stats_json_file stats_csv_file =
+    guard_io @@ fun () ->
     let tracing = tracing_wanted ~trace_file ~trace_text_file in
     let variants =
       match variants with
@@ -192,13 +218,14 @@ let run_cmd =
           variants)
       benches;
     if tracing then export_trace trace ~trace_file ~trace_text_file;
-    match !last with
+    (match !last with
     | Some r ->
       export_metrics r.Tmachine.metrics ~stats_json_file ~stats_csv_file
-    | None -> ()
+    | None -> ());
+    0
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"run SPEC models on processor variants")
+    (Cmd.info "run" ~exits ~doc:"run SPEC models on processor variants")
     Term.(const run $ benches $ variants $ warmup $ measure $ verbose
           $ trace_file $ trace_text_file $ trace_filter $ stats_json_file
           $ stats_csv_file)
@@ -223,6 +250,7 @@ let multi_cmd =
   in
   let run benches secure warmup measure trace_file trace_text_file
       trace_filter stats_json_file stats_csv_file =
+    guard_io @@ fun () ->
     let benches = Array.of_list benches in
     let cores = Array.length benches in
     let timing =
@@ -241,10 +269,11 @@ let multi_cmd =
     if tracing_wanted ~trace_file ~trace_text_file then
       export_trace trace ~trace_file ~trace_text_file;
     if Array.length rs > 0 then
-      export_metrics rs.(0).Tmachine.metrics ~stats_json_file ~stats_csv_file
+      export_metrics rs.(0).Tmachine.metrics ~stats_json_file ~stats_csv_file;
+    0
   in
   Cmd.v
-    (Cmd.info "multi" ~doc:"multiprogrammed multicore run")
+    (Cmd.info "multi" ~exits ~doc:"multiprogrammed multicore run")
     Term.(const run $ benches $ secure $ warmup $ measure $ trace_file
           $ trace_text_file $ trace_filter $ stats_json_file $ stats_csv_file)
 
@@ -278,6 +307,7 @@ let sweep_cmd =
   in
   let run benches variants seeds warmup measure jobs stats_json_file
       history_file =
+    guard_io @@ fun () ->
     let open Mi6_obs in
     let module Sweep = Mi6_exec.Sweep in
     let cells = Sweep.cells ~seeds ~variants ~benches () in
@@ -308,7 +338,7 @@ let sweep_cmd =
       write_file path (Json.to_string (Sweep.to_json ~warmup ~measure outcomes));
       Printf.printf "sweep metrics -> %s\n%!" path
     | None -> ());
-    match history_file with
+    (match history_file with
     | Some path ->
       let commit = Perfdb.git_commit () in
       let run_id = Perfdb.next_run_id (Perfdb.load ~path) ~commit in
@@ -329,10 +359,11 @@ let sweep_cmd =
       Perfdb.append ~path (records @ [ wall_record ]);
       Printf.printf "appended run %s (%d records) -> %s\n%!" run_id
         (List.length records + 1) path
-    | None -> ()
+    | None -> ());
+    0
   in
   Cmd.v
-    (Cmd.info "sweep"
+    (Cmd.info "sweep" ~exits
        ~doc:
          "domain-parallel (variant x bench x seed) sweep with a \
           deterministic merge: --stats-json output is byte-identical for \
@@ -346,6 +377,7 @@ let sweep_cmd =
 
 let attack_cmd =
   let run () =
+    guard_io @@ fun () ->
     let verdict name leaky =
       Printf.printf "%-46s %s\n" name
         (if leaky then "LEAKS" else "no leak (bit-identical)")
@@ -368,9 +400,10 @@ let attack_cmd =
                dram_bank_channel ~reordering:true ~victim_same_bank:false ]);
     verdict "DRAM banks, constant-latency controller"
       (leaks [ dram_bank_channel ~reordering:false ~victim_same_bank:true;
-               dram_bank_channel ~reordering:false ~victim_same_bank:false ])
+               dram_bank_channel ~reordering:false ~victim_same_bank:false ]);
+    0
   in
-  Cmd.v (Cmd.info "attack" ~doc:"side-channel experiment verdicts")
+  Cmd.v (Cmd.info "attack" ~exits ~doc:"side-channel experiment verdicts")
     Term.(const run $ const ())
 
 (* ------------------------------------------------------------------ *)
@@ -401,6 +434,7 @@ let audit_cmd =
          & info [ "json" ] ~docv:"FILE" ~doc:"Write the audit report as JSON.")
   in
   let run attackers json_file jobs =
+    guard_io @@ fun () ->
     let open Mi6_obs in
     print_endline
       "Leakage audit (paper Section 5.4): the victim's cycle-stamped view of \
@@ -520,10 +554,10 @@ let audit_cmd =
        paper's claim: MI6 timing-independent AND the insecure baseline
        observably leaking (otherwise the auditor has no witness that it
        could see a leak at all). *)
-    if not (mi6_clean && baseline_channel <> None) then exit 1
+    if mi6_clean && baseline_channel <> None then 0 else 1
   in
   Cmd.v
-    (Cmd.info "audit"
+    (Cmd.info "audit" ~exits
        ~doc:
          "leakage audit: diff the victim's event timeline across attacker \
           behaviours on the baseline and MI6 LLCs")
@@ -554,6 +588,7 @@ let profile_cmd =
          & info [ "json" ] ~docv:"FILE" ~doc:"Write all CPI stacks as JSON.")
   in
   let run benches variants warmup measure folded_file json_file jobs =
+    guard_io @@ fun () ->
     let open Mi6_obs in
     (* Prefill every (bench, variant) run on the pool; the serial report
        below reads from this table, so its output does not depend on
@@ -645,10 +680,10 @@ let profile_cmd =
       write_file path (Json.to_string doc);
       Printf.printf "profiles -> %s\n%!" path
     | None -> ());
-    if !failed then exit 1
+    if !failed then 1 else 0
   in
   Cmd.v
-    (Cmd.info "profile"
+    (Cmd.info "profile" ~exits
        ~doc:
          "top-down CPI-stack attribution per variant (where every cycle \
           went: commits, mispredicts, L1/LLC/DRAM stalls, TLB walks, purges)")
@@ -671,15 +706,341 @@ let area_cmd =
       (Area_model.components ~cores);
     let s = Area_model.summary ~cores in
     Printf.printf "TOTAL base=%d extra=%d -> +%.2f%%\n" s.Area_model.base_bits
-      s.Area_model.extra_bits s.Area_model.percent
+      s.Area_model.extra_bits s.Area_model.percent;
+    0
   in
-  Cmd.v (Cmd.info "area" ~doc:"structural area model") Term.(const run $ cores)
+  Cmd.v (Cmd.info "area" ~exits ~doc:"structural area model")
+    Term.(const run $ cores)
+
+(* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Taint = Mi6_analysis.Taint
+module Hwlint = Mi6_analysis.Lint
+module Witness = Mi6_analysis.Witness
+
+type lint_machine = M_mi6 | M_variant of Config.variant
+
+let machine_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "mi6" | "secure" -> Ok M_mi6
+    | _ -> (
+      match Config.variant_of_name s with
+      | Some v -> Ok (M_variant v)
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown machine %S (mi6 or a variant name)" s)))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf m ->
+        Format.pp_print_string ppf
+          (match m with M_mi6 -> "mi6" | M_variant v -> Config.variant_name v)
+    )
+
+let reg_conv =
+  let parse s =
+    match Mi6_isa.Reg.of_name s with
+    | Some r -> Ok r
+    | None -> Error (`Msg (Printf.sprintf "unknown register %S" s))
+  in
+  Arg.conv (parse, fun ppf r -> Format.pp_print_string ppf (Mi6_isa.Reg.name r))
+
+let range_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ lo; hi ] -> (
+      try Ok (int_of_string lo, int_of_string hi)
+      with Failure _ -> Error (`Msg (Printf.sprintf "bad range %S" s)))
+    | _ -> Error (`Msg (Printf.sprintf "bad range %S (expected LO:HI)" s))
+  in
+  Arg.conv (parse, fun ppf (lo, hi) -> Format.fprintf ppf "0x%x:0x%x" lo hi)
+
+(* The text program format [lint --hex] reads (and [--dump-hex] writes):
+   one 32-bit hex word per line; [#] comment lines may carry
+   [base]/[secret-reg]/[secret-range] directives describing the load
+   address and the secret set. *)
+let parse_hex_program path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let base = ref 0x1000 in
+  let regs = ref [] and ranges = ref [] and words = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let raw = input_line ic in
+       incr lineno;
+       let line = String.trim raw in
+       let fail msg = failwith (Printf.sprintf "%s:%d: %s" path !lineno msg) in
+       if line = "" then ()
+       else if line.[0] = '#' then begin
+         let fields =
+           String.sub line 1 (String.length line - 1)
+           |> String.split_on_char ' '
+           |> List.filter (fun t -> t <> "")
+         in
+         match fields with
+         | "base" :: v :: _ -> (
+           try base := int_of_string v
+           with Failure _ -> fail ("bad base address " ^ v))
+         | "secret-reg" :: r :: _ -> (
+           match Mi6_isa.Reg.of_name r with
+           | Some reg -> regs := reg :: !regs
+           | None -> fail ("unknown register " ^ r))
+         | "secret-range" :: v :: _ -> (
+           match String.split_on_char ':' v with
+           | [ lo; hi ] -> (
+             try ranges := (int_of_string lo, int_of_string hi) :: !ranges
+             with Failure _ -> fail ("bad secret-range " ^ v))
+           | _ -> fail ("bad secret-range " ^ v ^ " (expected LO:HI)"))
+         | _ -> ()
+       end
+       else
+         try words := int_of_string ("0x" ^ line) :: !words
+         with Failure _ -> fail (Printf.sprintf "bad hex word %S" line)
+     done
+   with End_of_file -> ());
+  ( { Mi6_isa.Asm.base = !base; words = Array.of_list (List.rev !words);
+      labels = [] },
+    { Taint.regs = List.rev !regs; ranges = List.rev !ranges } )
+
+let lint_cmd =
+  let machine =
+    Arg.(value & opt (some machine_conv) None
+         & info [ "machine" ] ~docv:"NAME"
+             ~doc:"Lint a machine configuration: $(b,mi6) (the secure \
+                   multicore) or a processor variant name (BASE, FLUSH, \
+                   PART, ...).  When no program input and no machine is \
+                   given, mi6 is linted.")
+  in
+  let cores =
+    Arg.(value & opt int 2
+         & info [ "cores" ] ~docv:"N" ~doc:"Cores for $(b,--machine).")
+  in
+  let witnesses =
+    Arg.(value & opt (some (list string)) None
+         & info [ "witness" ] ~docv:"NAMES"
+             ~doc:(Printf.sprintf
+                     "Analyze built-in witness programs (comma separated, or \
+                      $(b,all)).  Known: %s."
+                     (String.concat ", " Mi6_analysis.Witness.names)))
+  in
+  let hex =
+    Arg.(value & opt (some string) None
+         & info [ "hex" ] ~docv:"FILE"
+             ~doc:"Analyze a program in hex text format: one 32-bit word \
+                   per line, with optional $(b,# base ADDR), \
+                   $(b,# secret-reg REG) and $(b,# secret-range LO:HI) \
+                   directive comments.")
+  in
+  let secret_regs =
+    Arg.(value & opt_all reg_conv []
+         & info [ "secret-reg" ] ~docv:"REG"
+             ~doc:"Treat $(docv) as secret at program entry (repeatable; \
+                   adds to any directives or witness defaults).")
+  in
+  let secret_ranges =
+    Arg.(value & opt_all range_conv []
+         & info [ "secret-range" ] ~docv:"LO:HI"
+             ~doc:"Treat memory bytes [LO,HI) as secret (repeatable).")
+  in
+  let window =
+    Arg.(value & opt int 0
+         & info [ "speculative" ] ~docv:"N"
+             ~doc:"Also follow the architecturally dead edge of statically \
+                   resolved branches for up to $(docv) wrong-path \
+                   instructions (Spectre-style transient execution).  \
+                   Findings reachable only that way are labeled \
+                   speculative.")
+  in
+  let json_file =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write the findings as JSON.")
+  in
+  let dump_hex =
+    Arg.(value & opt (some string) None
+         & info [ "dump-hex" ] ~docv:"DIR"
+             ~doc:"Write every built-in witness to $(docv)/NAME.hex in the \
+                   $(b,--hex) input format, then exit.")
+  in
+  let run machine cores witnesses hex secret_regs secret_ranges window
+      json_file dump_hex =
+    guard_io @@ fun () ->
+    match dump_hex with
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.iter
+        (fun w ->
+          let file =
+            String.map (fun c -> if c = '-' then '_' else c) w.Witness.name
+            ^ ".hex"
+          in
+          let path = Filename.concat dir file in
+          write_file path (Witness.to_hex w);
+          Printf.printf "%-14s -> %s\n" w.Witness.name path)
+        Witness.all;
+      0
+    | None ->
+      let extend (s : Taint.secret) =
+        {
+          Taint.regs = s.Taint.regs @ secret_regs;
+          ranges = s.Taint.ranges @ secret_ranges;
+        }
+      in
+      let analyze_one ~name ~secret program =
+        match Taint.analyze_program ~window ~secret program with
+        | Error msg -> failwith (Printf.sprintf "%s: %s" name msg)
+        | Ok findings ->
+          let n = List.length findings in
+          if n = 0 then
+            Printf.printf "lint: program %-14s clean (window %d)\n" name
+              window
+          else begin
+            Printf.printf "lint: program %-14s %d finding%s (window %d)\n"
+              name n
+              (if n = 1 then "" else "s")
+              window;
+            List.iter
+              (fun f ->
+                Printf.printf "  %s\n"
+                  (Format.asprintf "%a" Taint.pp_finding f))
+              findings
+          end;
+          (name, findings)
+      in
+      let program_reports =
+        let from_witnesses =
+          match witnesses with
+          | None -> []
+          | Some names ->
+            let names = if List.mem "all" names then Witness.names else names in
+            List.map
+              (fun n ->
+                match Witness.find n with
+                | None ->
+                  failwith
+                    (Printf.sprintf "unknown witness %S (known: %s)" n
+                       (String.concat ", " Witness.names))
+                | Some w ->
+                  analyze_one ~name:w.Witness.name
+                    ~secret:(extend w.Witness.secret) (Witness.program w))
+              names
+        in
+        let from_hex =
+          match hex with
+          | None -> []
+          | Some path ->
+            let program, secret = parse_hex_program path in
+            [
+              analyze_one ~name:(Filename.basename path)
+                ~secret:(extend secret) program;
+            ]
+        in
+        from_witnesses @ from_hex
+      in
+      let config_reports =
+        let lint_machine m =
+          let name =
+            match m with M_mi6 -> "mi6" | M_variant v -> Config.variant_name v
+          in
+          let timing =
+            match m with
+            | M_mi6 -> Config.secure_multicore ~cores
+            | M_variant v -> Config.timing ~cores v
+          in
+          let findings = Hwlint.lint_timing ~name timing in
+          let findings =
+            match m with
+            | M_variant _ -> findings
+            | M_mi6 ->
+              (* Exercise the Section 6.1 ownership checks on a populated
+                 ledger: two enclaves carved out of OS memory. *)
+              let ledger = Region.create Mi6_mem.Addr.default_regions in
+              ignore
+                (Region.transfer ledger ~regions:[ 1; 2 ] ~from_:Region.Os
+                   ~to_:(Region.Enclave 0));
+              ignore
+                (Region.transfer ledger ~regions:[ 3 ] ~from_:Region.Os
+                   ~to_:(Region.Enclave 1));
+              findings @ Hwlint.lint_ledger ledger
+          in
+          let n = List.length findings in
+          if n = 0 then
+            Printf.printf "lint: machine %-14s clean (%d cores)\n" name cores
+          else begin
+            Printf.printf "lint: machine %-14s %d finding%s (%d cores)\n" name
+              n
+              (if n = 1 then "" else "s")
+              cores;
+            List.iter
+              (fun f ->
+                Printf.printf "  %s\n"
+                  (Format.asprintf "%a" Hwlint.pp_finding f))
+              findings
+          end;
+          (name, findings)
+        in
+        match (machine, program_reports) with
+        | Some m, _ -> [ lint_machine m ]
+        | None, [] -> [ lint_machine M_mi6 ]
+        | None, _ -> []
+      in
+      let count reports =
+        List.fold_left (fun acc (_, fs) -> acc + List.length fs) 0 reports
+      in
+      let total = count program_reports + count config_reports in
+      (match json_file with
+      | Some path ->
+        let open Mi6_obs in
+        let section to_json reports =
+          Json.List
+            (List.map
+               (fun (name, fs) ->
+                 Json.Obj
+                   [
+                     ("name", Json.String name);
+                     ("clean", Json.Bool (fs = []));
+                     ("findings", Json.List (List.map to_json fs));
+                   ])
+               reports)
+        in
+        let doc =
+          Json.Obj
+            [
+              ("tool", Json.String "mi6_sim lint");
+              ("window", Json.Int window);
+              ("programs", section Taint.finding_to_json program_reports);
+              ("configs", section Hwlint.finding_to_json config_reports);
+              ("total_findings", Json.Int total);
+            ]
+        in
+        write_file path (Json.to_string doc);
+        Printf.printf "lint report -> %s\n%!" path
+      | None -> ());
+      if total = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "lint" ~exits
+       ~doc:
+         "static secret-taint / constant-time analysis of RV64 programs and \
+          hardware-invariant linting of machine configurations (MSHR \
+          sizing, LLC set partitioning, purge coverage, DRAM-region \
+          ownership)")
+    Term.(const run $ machine $ cores $ witnesses $ hex $ secret_regs
+          $ secret_ranges $ window $ json_file $ dump_hex)
 
 let () =
   let doc = "cycle-level MI6 / RiscyOO simulator" in
-  exit
-    (Cmd.eval
-       (Cmd.group ~default:Term.(ret (const (`Help (`Pager, None))))
-          (Cmd.info "mi6_sim" ~doc)
-          [ run_cmd; multi_cmd; sweep_cmd; attack_cmd; audit_cmd; profile_cmd;
-            area_cmd ]))
+  let code =
+    Cmd.eval'
+      (Cmd.group ~default:Term.(ret (const (`Help (`Pager, None))))
+         (Cmd.info "mi6_sim" ~doc ~exits)
+         [ run_cmd; multi_cmd; sweep_cmd; attack_cmd; audit_cmd; profile_cmd;
+           area_cmd; lint_cmd ])
+  in
+  (* Cmdliner reports its own CLI parse errors as 124; fold that into the
+     documented usage-error code. *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -1,0 +1,49 @@
+type edge_kind = Fall | Taken | Not_taken | Jump
+
+type edge = { dst : int; kind : edge_kind }
+
+type node = { pc : int; instr : Instr.t; succs : edge list }
+
+type t = { base : int; table : (int, node) Hashtbl.t; order : int list }
+
+let in_image ~base ~bytes pc = pc >= base && pc < base + bytes && pc mod 4 = 0
+
+let succs_of ~base ~bytes pc (instr : Instr.t) =
+  let edge kind dst = if in_image ~base ~bytes dst then [ { dst; kind } ] else [] in
+  match instr with
+  | Jal { offset; _ } -> edge Jump (pc + offset)
+  | Branch { offset; _ } ->
+    edge Taken (pc + offset) @ edge Not_taken (pc + 4)
+  | Jalr _ | Ecall | Ebreak | Mret | Sret | Wfi -> []
+  | _ -> edge Fall (pc + 4)
+
+let of_words ~base words =
+  let bytes = 4 * Array.length words in
+  let table = Hashtbl.create (Array.length words) in
+  let order = ref [] in
+  let err = ref None in
+  Array.iteri
+    (fun i w ->
+      if !err = None then
+        let pc = base + (4 * i) in
+        match Encode.decode w with
+        | None ->
+          err := Some (Printf.sprintf "undecodable word 0x%08x at pc 0x%x" w pc)
+        | Some instr ->
+          Hashtbl.replace table pc
+            { pc; instr; succs = succs_of ~base ~bytes pc instr };
+          order := pc :: !order)
+    words;
+  match !err with
+  | Some msg -> Error msg
+  | None -> Ok { base; table; order = List.rev !order }
+
+let of_program (p : Asm.program) = of_words ~base:p.Asm.base p.Asm.words
+
+let entry t = t.base
+
+let nodes t = List.map (fun pc -> Hashtbl.find t.table pc) t.order
+
+let node_at t pc = Hashtbl.find_opt t.table pc
+
+let length t = List.length t.order

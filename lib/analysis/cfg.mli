@@ -1,0 +1,38 @@
+(** Control-flow graph recovered from a decoded RV64IM program.
+
+    Nodes are individual instructions (pc-indexed); edges carry the kind of
+    control transfer so flow analyses can treat branch edges asymmetrically
+    (constant-condition pruning, speculative wrong-path injection).
+
+    Recovery is linear: words are decoded in order from the program base;
+    direct targets ([jal], conditional branches) become edges, indirect
+    jumps ([jalr]), traps, [wfi] and out-of-image targets terminate a
+    path.  [mret]/[sret]/[ecall]/[ebreak] are treated as exits — the
+    analyses here reason about a single protection domain's code. *)
+
+type edge_kind =
+  | Fall  (** straight-line successor *)
+  | Taken  (** branch taken edge *)
+  | Not_taken  (** branch fall-through edge *)
+  | Jump  (** unconditional direct jump *)
+
+type edge = { dst : int; kind : edge_kind }
+
+type node = { pc : int; instr : Instr.t; succs : edge list }
+
+type t
+
+(** [of_program p] decodes every word of [p].  [Error msg] when a word
+    fails to decode (the image is not a pure RV64IM text section). *)
+val of_program : Asm.program -> (t, string) result
+
+(** [of_words ~base words] — same, from a raw word image. *)
+val of_words : base:int -> int array -> (t, string) result
+
+val entry : t -> int
+
+(** [nodes t] in ascending pc order. *)
+val nodes : t -> node list
+
+val node_at : t -> int -> node option
+val length : t -> int

@@ -1,0 +1,61 @@
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+exception Diverged
+
+module Forward (L : LATTICE) = struct
+  type solution = (int, L.t) Hashtbl.t
+
+  module Work = Set.Make (Int)
+
+  let solve cfg ~entry ~transfer =
+    let facts : solution = Hashtbl.create 64 in
+    Hashtbl.replace facts (Cfg.entry cfg) entry;
+    (* A sorted pc set as the worklist keeps iteration order deterministic
+       (ascending pc), which keeps any diagnostics stable run to run. *)
+    let work = ref (Work.singleton (Cfg.entry cfg)) in
+    (* Each node can be re-processed once per strict fact increase; the
+       lattices used here have short chains, so this generous budget only
+       trips on a non-monotone transfer. *)
+    let budget = ref (1000 * (Cfg.length cfg + 1)) in
+    while not (Work.is_empty !work) do
+      decr budget;
+      if !budget < 0 then raise Diverged;
+      let pc = Work.min_elt !work in
+      work := Work.remove pc !work;
+      match Cfg.node_at cfg pc with
+      | None -> ()
+      | Some node ->
+        let fact = Hashtbl.find facts pc in
+        List.iter
+          (fun (dst, out) ->
+            if Cfg.node_at cfg dst <> None then
+              let joined, changed =
+                match Hashtbl.find_opt facts dst with
+                | None -> (out, true)
+                | Some old ->
+                  let j = L.join old out in
+                  (j, not (L.equal j old))
+              in
+              if changed then begin
+                Hashtbl.replace facts dst joined;
+                work := Work.add dst !work
+              end)
+          (transfer node fact)
+    done;
+    facts
+
+  let fact_at sol pc = Hashtbl.find_opt sol pc
+
+  let iter_reachable sol cfg f =
+    List.iter
+      (fun (node : Cfg.node) ->
+        match Hashtbl.find_opt sol node.Cfg.pc with
+        | Some fact -> f node fact
+        | None -> ())
+      (Cfg.nodes cfg)
+end

@@ -1,0 +1,51 @@
+(** Reusable forward dataflow solving over a {!Cfg.t}.
+
+    A classic worklist fixpoint over a join-semilattice: facts live on node
+    {e entries}; the per-node transfer function produces one outgoing fact
+    per CFG edge (so analyses can refine along branch edges — prune a
+    statically dead edge by returning no fact for it, or inject a weakened
+    fact for a speculatively reachable one).
+
+    Termination is the caller's obligation: [join] must be an upper bound
+    and the lattice must have no infinite ascending chains reachable from
+    the entry fact under [transfer].  The solver additionally bounds the
+    iteration count and raises [Diverged] as a defence against
+    non-monotone transfer functions. *)
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+
+  (** Least upper bound.  Must be commutative, associative, idempotent. *)
+  val join : t -> t -> t
+end
+
+exception Diverged
+
+module Forward (L : LATTICE) : sig
+  type solution
+
+  (** [solve cfg ~entry ~transfer] runs the worklist to fixpoint.
+
+      [transfer node fact] receives the joined fact at the node's entry
+      and returns the fact flowing out along each chosen edge, as
+      [(destination pc, fact)] pairs; returning a destination that is not
+      a successor in the CFG is allowed (the solver only requires it to
+      be a node of the graph — unknown pcs are ignored), which analyses
+      use for e.g. speculative wrong-path edges.
+
+      Nodes never reached keep no fact ([fact_at] returns [None]). *)
+  val solve :
+    Cfg.t ->
+    entry:L.t ->
+    transfer:(Cfg.node -> L.t -> (int * L.t) list) ->
+    solution
+
+  (** Joined fact at a node's entry; [None] when unreachable. *)
+  val fact_at : solution -> int -> L.t option
+
+  (** [iter_reachable sol cfg f] applies [f node fact] over reachable
+      nodes in ascending pc order (deterministic reporting order). *)
+  val iter_reachable : solution -> Cfg.t -> (Cfg.node -> L.t -> unit) -> unit
+end

@@ -1,0 +1,410 @@
+type kind =
+  | Branch_condition
+  | Jump_target
+  | Load_address
+  | Store_address
+  | Variable_latency
+
+let kind_rank = function
+  | Branch_condition -> 0
+  | Jump_target -> 1
+  | Load_address -> 2
+  | Store_address -> 3
+  | Variable_latency -> 4
+
+let kind_name = function
+  | Branch_condition -> "branch-condition"
+  | Jump_target -> "jump-target"
+  | Load_address -> "load-address"
+  | Store_address -> "store-address"
+  | Variable_latency -> "variable-latency"
+
+type finding = {
+  pc : int;
+  kind : kind;
+  speculative : bool;
+  instr : Instr.t;
+  detail : string;
+}
+
+type secret = { regs : Reg.t list; ranges : (int * int) list }
+
+let no_secret = { regs = []; ranges = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Abstract domain                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A register value: taint bit + optionally a statically known constant.
+   Constants only ever arise from untainted computations (secrets enter
+   with [const = None] and constant folding requires every operand
+   known), so a known constant is always public. *)
+type value = { taint : bool; const : int64 option }
+
+let vtop = { taint = false; const = None }
+let vtainted = { taint = true; const = None }
+let vconst c = { taint = false; const = Some c }
+
+let value_join a b =
+  {
+    taint = a.taint || b.taint;
+    const =
+      (match (a.const, b.const) with
+      | Some x, Some y when Int64.equal x y -> Some x
+      | _ -> None);
+  }
+
+let value_equal a b =
+  a.taint = b.taint
+  && (match (a.const, b.const) with
+     | Some x, Some y -> Int64.equal x y
+     | None, None -> true
+     | _ -> false)
+
+module Imap = Map.Make (Int)
+
+(* Byte-precise taint for statically known addresses over a background of
+   secret ranges; [blur] records that a tainted store escaped to an
+   unknown address, after which every load may observe taint. *)
+type mem = { bytes : bool Imap.t; blur : bool }
+
+type state = { regs : value array; mem : mem; spec : int }
+(* [spec = max_int]: architecturally reachable.  Otherwise the number of
+   further wrong-path instructions the speculation window still covers. *)
+
+(* ------------------------------------------------------------------ *)
+(* The analysis proper, parameterized by the secret set                *)
+(* ------------------------------------------------------------------ *)
+
+type raw = { r_pc : int; r_kind : kind; r_instr : Instr.t; r_detail : string }
+
+let div_ops = [ Instr.Div; Instr.Divu; Instr.Rem; Instr.Remu ]
+let div_w_ops = [ Instr.Divw; Instr.Divuw; Instr.Remw; Instr.Remuw ]
+
+let run ~window ~(secret : secret) cfg : raw list =
+  let in_secret_range a =
+    List.exists (fun (lo, hi) -> a >= lo && a < hi) secret.ranges
+  in
+  let module L = struct
+    type t = state
+
+    let equal a b =
+      a.spec = b.spec && a.mem.blur = b.mem.blur
+      && Imap.equal Bool.equal a.mem.bytes b.mem.bytes
+      && Array.for_all2 value_equal a.regs b.regs
+
+    let join a b =
+      let bytes =
+        Imap.merge
+          (fun addr l r ->
+            match (l, r) with
+            | Some x, Some y -> Some (x || y)
+            | (Some x, None | None, Some x) ->
+              (* The absent side sits on the background. *)
+              Some (x || in_secret_range addr)
+            | None, None -> None)
+          a.mem.bytes b.mem.bytes
+      in
+      {
+        regs = Array.map2 value_join a.regs b.regs;
+        mem = { bytes; blur = a.mem.blur || b.mem.blur };
+        spec = max a.spec b.spec;
+      }
+  end in
+  let module F = Dataflow.Forward (L) in
+  let read (st : state) r = if r = 0 then vconst 0L else st.regs.(r) in
+  let write (st : state) rd v =
+    if rd = 0 then st
+    else begin
+      let regs = Array.copy st.regs in
+      regs.(rd) <- v;
+      { st with regs }
+    end
+  in
+  let byte_taint (st : state) addr =
+    let base =
+      match Imap.find_opt addr st.mem.bytes with
+      | Some t -> t
+      | None -> in_secret_range addr
+    in
+    base || st.mem.blur
+  in
+  let load_taint st ~addr ~width =
+    match addr with
+    | Some a ->
+      let a = Int64.to_int a in
+      let rec any i = i < width && (byte_taint st (a + i) || any (i + 1)) in
+      any 0
+    | None ->
+      (* Unknown address: the load may observe any byte. *)
+      st.mem.blur || secret.ranges <> []
+      || Imap.exists (fun _ t -> t) st.mem.bytes
+  in
+  let store st ~addr ~width ~taint =
+    match addr with
+    | Some a ->
+      let a = Int64.to_int a in
+      let bytes = ref st.mem.bytes in
+      for i = 0 to width - 1 do
+        bytes := Imap.add (a + i) taint !bytes
+      done;
+      { st with mem = { st.mem with bytes = !bytes } }
+    | None ->
+      (* Untainted stores to unknown addresses can only lower taint;
+         ignoring them is sound. *)
+      if taint then { st with mem = { st.mem with blur = true } } else st
+  in
+  let binop fold rd a b st =
+    let const =
+      match (a.const, b.const) with
+      | Some x, Some y -> Some (fold x y)
+      | _ -> None
+    in
+    write st rd { taint = a.taint || b.taint; const }
+  in
+  (* Outgoing facts: decrement a speculative budget; a fact that would
+     arrive with no budget left is simply not propagated. *)
+  let out st dsts =
+    if st.spec = max_int then List.map (fun d -> (d, st)) dsts
+    else if st.spec <= 1 then []
+    else List.map (fun d -> (d, { st with spec = st.spec - 1 })) dsts
+  in
+  let edge_dsts kind succs =
+    List.filter_map
+      (fun (e : Cfg.edge) -> if e.Cfg.kind = kind then Some e.Cfg.dst else None)
+      succs
+  in
+  let transfer (node : Cfg.node) (st : state) =
+    let pc = node.Cfg.pc in
+    let all = List.map (fun (e : Cfg.edge) -> e.Cfg.dst) node.Cfg.succs in
+    match node.Cfg.instr with
+    | Lui { rd; imm } -> out (write st rd (vconst (Int64.of_int imm))) all
+    | Auipc { rd; imm } ->
+      out (write st rd (vconst (Int64.of_int (pc + imm)))) all
+    | Jal { rd; _ } -> out (write st rd (vconst (Int64.of_int (pc + 4)))) all
+    | Jalr { rd; _ } ->
+      (* Indirect target: no static successors. *)
+      out (write st rd (vconst (Int64.of_int (pc + 4)))) all
+    | Alu { op; rd; rs1; rs2 } ->
+      out (binop (Fsim.alu_compute op) rd (read st rs1) (read st rs2) st) all
+    | Alu_imm { op; rd; rs1; imm } ->
+      out
+        (binop (Fsim.alu_compute op) rd (read st rs1)
+           (vconst (Int64.of_int imm))
+           st)
+        all
+    | Alu_w { op; rd; rs1; rs2 } ->
+      out (binop (Fsim.alu_w_compute op) rd (read st rs1) (read st rs2) st) all
+    | Alu_imm_w { op; rd; rs1; imm } ->
+      out
+        (binop (Fsim.alu_w_compute op) rd (read st rs1)
+           (vconst (Int64.of_int imm))
+           st)
+        all
+    | Muldiv { rd; rs1; rs2; _ } | Muldiv_w { rd; rs1; rs2; _ } ->
+      let a = read st rs1 and b = read st rs2 in
+      out (write st rd { taint = a.taint || b.taint; const = None }) all
+    | Load { kind; rd; rs1; offset } ->
+      let base = read st rs1 in
+      let addr = Option.map (fun b -> Int64.add b (Int64.of_int offset)) base.const in
+      let t = load_taint st ~addr ~width:(Instr.load_bytes kind) in
+      out (write st rd { taint = t; const = None }) all
+    | Store { kind; rs1; rs2; offset } ->
+      let base = read st rs1 in
+      let addr = Option.map (fun b -> Int64.add b (Int64.of_int offset)) base.const in
+      out
+        (store st ~addr ~width:(Instr.store_bytes kind)
+           ~taint:(read st rs2).taint)
+        all
+    | Lr { width; rd; rs1 } ->
+      let base = read st rs1 in
+      let w = match width with Instr.W -> 4 | Instr.D -> 8 in
+      let t = load_taint st ~addr:base.const ~width:w in
+      out (write st rd { taint = t; const = None }) all
+    | Sc { width; rd; rs1; rs2 } ->
+      let base = read st rs1 in
+      let w = match width with Instr.W -> 4 | Instr.D -> 8 in
+      let st = store st ~addr:base.const ~width:w ~taint:(read st rs2).taint in
+      out (write st rd vtop) all
+    | Amo { width; rd; rs1; rs2; _ } ->
+      let base = read st rs1 in
+      let w = match width with Instr.W -> 4 | Instr.D -> 8 in
+      let t = load_taint st ~addr:base.const ~width:w in
+      let st =
+        store st ~addr:base.const ~width:w
+          ~taint:(t || (read st rs2).taint)
+      in
+      out (write st rd { taint = t; const = None }) all
+    | Branch { kind; rs1; rs2; _ } -> begin
+      let a = read st rs1 and b = read st rs2 in
+      let taken = edge_dsts Cfg.Taken node.Cfg.succs in
+      let fall = edge_dsts Cfg.Not_taken node.Cfg.succs in
+      match (a.const, b.const) with
+      | Some x, Some y ->
+        (* Direction statically known: only the live edge propagates the
+           committed fact; in speculative mode the dead edge receives a
+           budget-bounded wrong-path fact. *)
+        let live, dead = if Fsim.branch_taken kind x y then (taken, fall) else (fall, taken) in
+        let speculative =
+          if window <= 0 then []
+          else
+            let budget = min st.spec window in
+            if budget < 1 then []
+            else List.map (fun d -> (d, { st with spec = budget })) dead
+        in
+        out st live @ speculative
+      | _ -> out st all
+    end
+    | Csr { rd; _ } -> out (write st rd vtop) all
+    | Ecall | Ebreak | Mret | Sret | Wfi -> []
+    | Fence | Fence_i | Sfence_vma _ | Purge -> out st all
+  in
+  let entry_regs =
+    Array.init 32 (fun i ->
+        if i = 0 then vconst 0L
+        else if List.mem i secret.regs then vtainted
+        else vtop)
+  in
+  let entry =
+    { regs = entry_regs; mem = { bytes = Imap.empty; blur = false }; spec = max_int }
+  in
+  let sol = F.solve cfg ~entry ~transfer in
+  let findings = ref [] in
+  let flag r = findings := r :: !findings in
+  F.iter_reachable sol cfg (fun node st ->
+      let pc = node.Cfg.pc in
+      let tainted r = (read st r).taint in
+      let names rs =
+        String.concat ", " (List.map Reg.name (List.filter tainted rs))
+      in
+      match node.Cfg.instr with
+      | Branch { rs1; rs2; _ } when tainted rs1 || tainted rs2 ->
+        flag
+          {
+            r_pc = pc;
+            r_kind = Branch_condition;
+            r_instr = node.Cfg.instr;
+            r_detail =
+              Printf.sprintf "branch condition reads secret-tainted %s"
+                (names [ rs1; rs2 ]);
+          }
+      | Jalr { rs1; _ } when tainted rs1 ->
+        flag
+          {
+            r_pc = pc;
+            r_kind = Jump_target;
+            r_instr = node.Cfg.instr;
+            r_detail =
+              Printf.sprintf "indirect jump target reads secret-tainted %s"
+                (Reg.name rs1);
+          }
+      | Load { rs1; _ } when tainted rs1 ->
+        flag
+          {
+            r_pc = pc;
+            r_kind = Load_address;
+            r_instr = node.Cfg.instr;
+            r_detail =
+              Printf.sprintf "load address reads secret-tainted %s"
+                (Reg.name rs1);
+          }
+      | (Lr { rs1; _ } | Amo { rs1; _ }) when tainted rs1 ->
+        flag
+          {
+            r_pc = pc;
+            r_kind = Load_address;
+            r_instr = node.Cfg.instr;
+            r_detail =
+              Printf.sprintf "atomic access address reads secret-tainted %s"
+                (Reg.name rs1);
+          }
+      | (Store { rs1; _ } | Sc { rs1; _ }) when tainted rs1 ->
+        flag
+          {
+            r_pc = pc;
+            r_kind = Store_address;
+            r_instr = node.Cfg.instr;
+            r_detail =
+              Printf.sprintf "store address reads secret-tainted %s"
+                (Reg.name rs1);
+          }
+      | Muldiv { op; rs1; rs2; _ }
+        when List.mem op div_ops && (tainted rs1 || tainted rs2) ->
+        flag
+          {
+            r_pc = pc;
+            r_kind = Variable_latency;
+            r_instr = node.Cfg.instr;
+            r_detail =
+              Printf.sprintf
+                "variable-latency divide/remainder on secret-tainted %s"
+                (names [ rs1; rs2 ]);
+          }
+      | Muldiv_w { op; rs1; rs2; _ }
+        when List.mem op div_w_ops && (tainted rs1 || tainted rs2) ->
+        flag
+          {
+            r_pc = pc;
+            r_kind = Variable_latency;
+            r_instr = node.Cfg.instr;
+            r_detail =
+              Printf.sprintf
+                "variable-latency divide/remainder on secret-tainted %s"
+                (names [ rs1; rs2 ]);
+          }
+      | _ -> ());
+  !findings
+
+(* ------------------------------------------------------------------ *)
+(* Public entry points                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let compare_finding a b =
+  match compare a.pc b.pc with
+  | 0 -> compare (kind_rank a.kind) (kind_rank b.kind)
+  | c -> c
+
+let analyze ?(window = 0) ~secret cfg =
+  let committed = run ~window:0 ~secret cfg in
+  let label speculative (r : raw) =
+    {
+      pc = r.r_pc;
+      kind = r.r_kind;
+      speculative;
+      instr = r.r_instr;
+      detail = r.r_detail;
+    }
+  in
+  let findings =
+    if window <= 0 then List.map (label false) committed
+    else begin
+      let committed_keys =
+        List.map (fun r -> (r.r_pc, kind_rank r.r_kind)) committed
+      in
+      List.map
+        (fun (r : raw) ->
+          label (not (List.mem (r.r_pc, kind_rank r.r_kind) committed_keys)) r)
+        (run ~window ~secret cfg)
+    end
+  in
+  (* Deterministic report order regardless of fixpoint iteration order
+     (mirrors the asm.ml label-sort fix): sort on (pc, kind). *)
+  List.sort_uniq compare findings |> List.sort compare_finding
+
+let analyze_program ?window ~secret p =
+  Result.map (fun cfg -> analyze ?window ~secret cfg) (Cfg.of_program p)
+
+let pp_finding ppf f =
+  Format.fprintf ppf "0x%x: [%s%s] %s  (%s)" f.pc (kind_name f.kind)
+    (if f.speculative then ", speculative" else "")
+    f.detail (Instr.to_string f.instr)
+
+let finding_to_json f =
+  Json.Obj
+    [
+      ("pc", Json.Int f.pc);
+      ("kind", Json.String (kind_name f.kind));
+      ("speculative", Json.Bool f.speculative);
+      ("instr", Json.String (Instr.to_string f.instr));
+      ("detail", Json.String f.detail);
+    ]

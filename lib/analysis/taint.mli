@@ -1,0 +1,64 @@
+(** Static secret-taint / constant-time analysis over decoded RV64IM
+    programs (paper Section 2 threat model; Citadel's follow-up
+    constant-time discipline).
+
+    A forward abstract interpretation on the {!Dataflow} framework.  Each
+    register carries a taint bit plus an optional known constant (the
+    constant half exists so data-independent control flow can be resolved
+    statically); memory is tracked byte-precise for statically known
+    addresses, with a sound conservative blur for stores through unknown
+    pointers.  The constant folder delegates to {!Mi6_func.Fsim}'s exact
+    RV64 semantics, so it cannot drift from the reference model.
+
+    The analysis flags the three constant-time violations the MI6/Citadel
+    threat model cares about, plus secret-dependent indirect jumps:
+
+    - a conditional branch whose condition reads tainted data;
+    - a load/store/AMO whose {e address} reads tainted data (cache and
+      DRAM side channels; secret {e values} may flow to memory freely);
+    - a variable-latency operation ([div]/[divu]/[rem]/[remu] and their
+      W-forms) with a tainted operand;
+    - a [jalr] whose target register is tainted.
+
+    {b Speculative mode} ([window > 0]): conditional branches whose
+    direction is statically known (both operands constant) normally
+    propagate facts only along the taken direction; with a speculation
+    window, the architecturally dead edge is also followed for up to
+    [window] wrong-path instructions, modeling Spectre-style transient
+    execution past a resolved-in-the-future branch.  Findings reachable
+    only that way are labeled [speculative]. *)
+
+type kind =
+  | Branch_condition
+  | Jump_target
+  | Load_address
+  | Store_address
+  | Variable_latency
+
+val kind_name : kind -> string
+
+type finding = {
+  pc : int;
+  kind : kind;
+  speculative : bool;  (** only reachable through wrong-path execution *)
+  instr : Instr.t;
+  detail : string;
+}
+
+(** The secret set: registers tainted at program entry, and byte ranges
+    [\[lo, hi)] of physical memory holding secrets. *)
+type secret = { regs : Reg.t list; ranges : (int * int) list }
+
+val no_secret : secret
+
+(** [analyze ?window ~secret cfg] — findings sorted by [(pc, kind)].
+    [window = 0] (default) analyzes committed execution only. *)
+val analyze : ?window:int -> secret:secret -> Cfg.t -> finding list
+
+(** [analyze_program ?window ~secret p] — decode + CFG + analyze.
+    [Error] when the image does not decode. *)
+val analyze_program :
+  ?window:int -> secret:secret -> Asm.program -> (finding list, string) result
+
+val pp_finding : Format.formatter -> finding -> unit
+val finding_to_json : finding -> Json.t

@@ -1,0 +1,225 @@
+type t = {
+  name : string;
+  description : string;
+  base : int;
+  items : Asm.item list;
+  secret : Taint.secret;
+  secret_reg : Reg.t option;
+  expect_clean : bool;
+  expect_clean_speculative : bool;
+}
+
+let code_base = 0x1000
+let data_base = 0x8000
+
+(* The secret arrives in a0 (or, for the memory witnesses, in the first
+   16 bytes of the data window); s1 is the public data pointer. *)
+let a0 = Reg.a0
+let s1 = Reg.s1
+let t0 = Reg.t0
+let t1 = Reg.t1
+let t2 = Reg.t2
+let t3 = Reg.t3
+let t4 = Reg.t4
+let t5 = Reg.t5
+
+let secret_a0 = { Taint.regs = [ a0 ]; ranges = [] }
+
+let i x = Asm.I x
+let alu op rd rs1 rs2 = i (Instr.Alu { op; rd; rs1; rs2 })
+let alui op rd rs1 imm = i (Instr.Alu_imm { op; rd; rs1; imm })
+let load kind rd rs1 offset = i (Instr.Load { kind; rd; rs1; offset })
+let store kind rs1 rs2 offset = i (Instr.Store { kind; rs1; rs2; offset })
+let halt = [ i Instr.Wfi ]
+
+(* Filler work so the two sides of a leaky branch retire different
+   instruction counts — the BASE machine's cycle count then separates
+   the secrets unambiguously.  The chain is dependent (t5 feeds t5), so
+   it retires one per cycle, and the long side must outlast the
+   machine's fixed ~400-cycle cold-start/drain shadow, under which any
+   shorter asymmetry hides. *)
+let busy n = List.init n (fun k -> alui Instr.Add t5 t5 (k land 0xF))
+
+let leaky_branch =
+  {
+    name = "leaky-branch";
+    description = "branches on the secret in a0; the two paths do different amounts of work";
+    base = code_base;
+    items =
+      [ Asm.Li (t5, 0); Asm.Br_to (Instr.Beq, a0, Reg.x0, "even") ]
+      @ busy 900
+      @ [ Asm.J "done"; Asm.Label "even" ]
+      @ busy 2
+      @ [ Asm.Label "done" ]
+      @ halt;
+    secret = secret_a0;
+    secret_reg = Some a0;
+    expect_clean = false;
+    expect_clean_speculative = false;
+  }
+
+let leaky_load =
+  {
+    name = "leaky-load";
+    description = "loads from an address derived from the secret in a0 (cache-set channel)";
+    base = code_base;
+    items =
+      [
+        Asm.Li (s1, data_base);
+        alui Instr.And t0 a0 0xF8;
+        alu Instr.Add t0 s1 t0;
+        load Instr.Ld t1 t0 0;
+      ]
+      @ halt;
+    secret = secret_a0;
+    secret_reg = Some a0;
+    expect_clean = false;
+    expect_clean_speculative = false;
+  }
+
+let leaky_store =
+  {
+    name = "leaky-store";
+    description = "stores to an address derived from the secret in a0";
+    base = code_base;
+    items =
+      [
+        Asm.Li (s1, data_base);
+        Asm.Li (t1, 42);
+        alui Instr.And t0 a0 0xF8;
+        alu Instr.Add t0 s1 t0;
+        store Instr.Sd t0 t1 0;
+      ]
+      @ halt;
+    secret = secret_a0;
+    secret_reg = Some a0;
+    expect_clean = false;
+    expect_clean_speculative = false;
+  }
+
+let leaky_div =
+  {
+    name = "leaky-div";
+    description = "divides by the secret in a0 (variable-latency operand channel)";
+    base = code_base;
+    items =
+      [
+        Asm.Li (t1, 1234567);
+        i (Instr.Muldiv { op = Instr.Div; rd = t2; rs1 = t1; rs2 = a0 });
+      ]
+      @ halt;
+    secret = secret_a0;
+    secret_reg = Some a0;
+    expect_clean = false;
+    expect_clean_speculative = false;
+  }
+
+(* Spectre-v1 shape: the guard is statically always taken, so committed
+   execution never reaches the secret-indexed load — but a mispredicted
+   branch runs it transiently. *)
+let spectre_v1 =
+  {
+    name = "spectre-v1";
+    description =
+      "secret-indexed load guarded by an always-taken branch: clean \
+       architecturally, leaky down the wrong path";
+    base = code_base;
+    items =
+      [
+        Asm.Li (t0, 0);
+        Asm.Li (s1, data_base);
+        Asm.Br_to (Instr.Beq, t0, Reg.x0, "safe");
+        alui Instr.And t1 a0 0xF8;
+        alu Instr.Add t1 s1 t1;
+        load Instr.Ld t2 t1 0;
+        Asm.Label "safe";
+      ]
+      @ halt;
+    secret = secret_a0;
+    secret_reg = Some a0;
+    expect_clean = true;
+    expect_clean_speculative = false;
+  }
+
+(* Constant-time select: mask = -(a0 & 1); result = mask ? b : a.  The
+   secret only ever flows through data, never into an address, branch, or
+   divider. *)
+let ct_select =
+  {
+    name = "ct-select";
+    description = "branchless select keyed on the secret bit in a0 (constant-time)";
+    base = code_base;
+    items =
+      [
+        Asm.Li (s1, data_base);
+        load Instr.Ld t1 s1 0;
+        load Instr.Ld t2 s1 8;
+        alui Instr.And t0 a0 1;
+        alu Instr.Sub t0 Reg.x0 t0;
+        alu Instr.Xor t3 t1 t2;
+        alu Instr.And t3 t3 t0;
+        alu Instr.Xor t3 t3 t1;
+        store Instr.Sd s1 t3 16;
+      ]
+      @ halt;
+    secret = secret_a0;
+    secret_reg = Some a0;
+    expect_clean = true;
+    expect_clean_speculative = true;
+  }
+
+(* Constant-time comparison of a 16-byte secret (data window bytes 0..15)
+   against a public value (bytes 16..31): fixed trip count, branchless
+   accumulation; only the loop counter reaches a branch. *)
+let ct_memcmp =
+  {
+    name = "ct-memcmp";
+    description = "fixed-iteration branchless compare of a secret byte string";
+    base = code_base;
+    items =
+      [
+        Asm.Li (s1, data_base);
+        Asm.Li (t0, 0);
+        Asm.Li (t1, 0);
+        Asm.Li (t2, 16);
+        Asm.Label "loop";
+        alu Instr.Add t3 s1 t1;
+        load Instr.Lbu t4 t3 0;
+        load Instr.Lbu t5 t3 16;
+        alu Instr.Xor t4 t4 t5;
+        alu Instr.Or t0 t0 t4;
+        alui Instr.Add t1 t1 1;
+        Asm.Br_to (Instr.Blt, t1, t2, "loop");
+        alu Instr.Sltu t0 Reg.x0 t0;
+        store Instr.Sd s1 t0 32;
+      ]
+      @ halt;
+    secret = { Taint.regs = []; ranges = [ (data_base, data_base + 16) ] };
+    secret_reg = None;
+    expect_clean = true;
+    expect_clean_speculative = true;
+  }
+
+let all =
+  [ leaky_branch; leaky_load; leaky_store; leaky_div; spectre_v1; ct_select;
+    ct_memcmp ]
+
+let names = List.map (fun w -> w.name) all
+
+let find name = List.find_opt (fun w -> w.name = name) all
+
+let program w = Asm.assemble ~base:w.base w.items
+
+let to_hex w =
+  let p = program w in
+  let b = Buffer.create 512 in
+  Printf.bprintf b "# mi6-lint-program %s\n# %s\n# base 0x%x\n" w.name
+    w.description w.base;
+  List.iter
+    (fun r -> Printf.bprintf b "# secret-reg %s\n" (Reg.name r))
+    w.secret.Taint.regs;
+  List.iter
+    (fun (lo, hi) -> Printf.bprintf b "# secret-range 0x%x:0x%x\n" lo hi)
+    w.secret.Taint.ranges;
+  Array.iter (fun word -> Printf.bprintf b "%08x\n" word) p.Asm.words;
+  Buffer.contents b

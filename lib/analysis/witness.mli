@@ -1,0 +1,30 @@
+(** Built-in witness programs for the taint analyzer: small RV64 programs
+    that violate (or deliberately respect) the constant-time discipline.
+
+    The leaky witnesses double as the dynamic cross-validation anchors —
+    running them on the BASE machine with two different secret inputs
+    produces observably different retirement streams — and the [ct-]
+    witnesses as the constant-time counterexamples that must lint clean. *)
+
+type t = {
+  name : string;
+  description : string;
+  base : int;  (** load address *)
+  items : Asm.item list;
+  secret : Taint.secret;
+  secret_reg : Reg.t option;
+      (** the input register the dynamic harness varies, if any *)
+  expect_clean : bool;  (** committed-mode verdict *)
+  expect_clean_speculative : bool;  (** verdict with a speculation window *)
+}
+
+val all : t list
+val find : string -> t option
+val names : string list
+val program : t -> Asm.program
+
+(** [to_hex w] renders the assembled program as the text format
+    [mi6_sim lint --hex] reads: [#] comment lines carrying
+    [base]/[secret-reg]/[secret-range] directives, then one lowercase hex
+    word per line. *)
+val to_hex : t -> string

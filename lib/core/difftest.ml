@@ -29,12 +29,13 @@ let csr_set =
     ("mcause", Csr.mcause);
   ]
 
-let run_func ~program ~data_base ~data_bytes ~max_steps () =
+let run_func ?(init_regs = []) ~program ~data_base ~data_bytes ~max_steps () =
   let geometry = Addr.default_regions in
   let mem = Phys_mem.create ~size_bytes:geometry.Addr.dram_bytes in
   let fsim = Fsim.create ~regions:geometry ~mem ~hartid:0 () in
   Fsim.load_program fsim program;
   let state = Fsim.state fsim in
+  List.iter (fun (r, v) -> Cpu_state.set_reg state r v) init_regs;
   Cpu_state.set_pc state (Int64.of_int program.Asm.base);
   let steps = ref [] in
   let halted = ref false in

@@ -43,9 +43,12 @@ exception Stuck of string
 
 (** [run_func ~program ~data_base ~data_bytes ~max_steps ()] loads and
     executes [program] in machine mode until the first [wfi] (excluded
-    from [steps]).  Raises {!Stuck} on any trap or on budget
-    exhaustion. *)
+    from [steps]).  [init_regs] seeds architectural registers before the
+    first fetch — the taint cross-validation harness uses it to inject a
+    secret {e input} that is not part of the program text.  Raises
+    {!Stuck} on any trap or on budget exhaustion. *)
 val run_func :
+  ?init_regs:(Reg.t * int64) list ->
   program:Asm.program ->
   data_base:int ->
   data_bytes:int ->

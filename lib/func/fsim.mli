@@ -71,3 +71,11 @@ val run : t -> max_steps:int -> until:(t -> bool) -> int
 (** [load_program t p] copies the encoded words into physical memory at
     [p.base]. *)
 val load_program : t -> Asm.program -> unit
+
+(** Exact RV64 operation semantics, exposed so static analyses
+    ({!Mi6_analysis.Taint}'s constant folder) share one definition with the
+    reference model instead of re-deriving it. *)
+
+val alu_compute : Instr.alu_op -> int64 -> int64 -> int64
+val alu_w_compute : Instr.alu_w_op -> int64 -> int64 -> int64
+val branch_taken : Instr.branch_kind -> int64 -> int64 -> bool

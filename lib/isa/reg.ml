@@ -45,4 +45,20 @@ let name r =
   check r;
   names.(r)
 
+let of_name s =
+  let s = String.lowercase_ascii s in
+  let rec abi i =
+    if i >= Array.length names then None
+    else if names.(i) = s then Some i
+    else abi (i + 1)
+  in
+  match abi 0 with
+  | Some _ as r -> r
+  | None ->
+    if String.length s >= 2 && s.[0] = 'x' then
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some r when r >= 0 && r <= 31 -> Some r
+      | _ -> None
+    else None
+
 let pp ppf r = Format.pp_print_string ppf (name r)

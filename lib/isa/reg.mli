@@ -46,4 +46,8 @@ val t6 : t
 (** [name r] is the ABI name, e.g. [name 10 = "a0"]. *)
 val name : t -> string
 
+(** [of_name s] parses an ABI name ("a0") or numeric name ("x10"),
+    case-insensitive. *)
+val of_name : string -> t option
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,329 @@
+(* Tests for the static analysis layer (lib/analysis): the secret-taint
+   constant-time analyzer and the hardware-invariant linter.
+
+   The centerpiece is a dynamic/static cross-validation property: random
+   programs from the shared {!Gen_programs} generator run twice on the
+   functional model with two different secret inputs; whenever the two
+   committed µop streams differ — i.e. the BASE machine's trace-driven
+   timing model could observe the secret — the static analyzer must have
+   flagged the program.  (The converse need not hold: the analyzer is an
+   over-approximation.) *)
+
+open Mi6_isa
+open Mi6_core
+module Taint = Mi6_analysis.Taint
+module Lint = Mi6_analysis.Lint
+module Witness = Mi6_analysis.Witness
+module Core_config = Mi6_ooo.Core_config
+module L1 = Mi6_cache.L1
+module Index = Mi6_cache.Index
+module Bitvec = Mi6_util.Bitvec
+module Addr = Mi6_mem.Addr
+
+(* ------------------------------------------------------------------ *)
+(* Soundness: dynamically leaking => statically flagged                 *)
+(* ------------------------------------------------------------------ *)
+
+(* a3: outside the generator's scratch pool, never written by the
+   prologue, so an [init_regs] seed survives as a program input. *)
+let secret_reg = 13
+let secret = { Taint.regs = [ secret_reg ]; ranges = [] }
+
+let arbitrary_secret_ops =
+  Gen_programs.arbitrary ~extra_srcs:[ secret_reg ] ~indexed:true ()
+
+let assemble_ops ops =
+  Asm.assemble ~base:Gen_programs.code_base (Gen_programs.materialize ops)
+
+let committed_uops prog value =
+  let run =
+    Difftest.run_func
+      ~init_regs:[ (secret_reg, value) ]
+      ~program:prog ~data_base:Gen_programs.data_base
+      ~data_bytes:Gen_programs.data_bytes ~max_steps:20_000 ()
+  in
+  Difftest.to_uops run ~func_code_base:Gen_programs.code_base
+    ~func_data_base:Gen_programs.data_base
+
+(* µops carry the committed path (pcs, branch outcomes, addresses) and
+   no data values, so stream inequality is exactly "the timing model's
+   input depends on the secret". *)
+let secret_pairs = [ (0L, 1L); (0L, -1L); (0x0123_4567_89AB_CDEFL, 64L) ]
+
+let dynamic_leak prog =
+  List.exists
+    (fun (a, b) -> committed_uops prog a <> committed_uops prog b)
+    secret_pairs
+
+let leaky_seen = ref 0
+
+let prop_soundness =
+  QCheck.Test.make
+    ~name:"dynamically leaking programs are statically flagged (500 programs)"
+    ~count:500 arbitrary_secret_ops (fun ops ->
+      let prog = assemble_ops ops in
+      if not (dynamic_leak prog) then true
+      else begin
+        incr leaky_seen;
+        match Taint.analyze_program ~secret prog with
+        | Error msg -> QCheck.Test.fail_reportf "undecodable image: %s" msg
+        | Ok [] ->
+          QCheck.Test.fail_reportf
+            "committed µop streams depend on the secret in x%d, but the \
+             analyzer found nothing:\n%s"
+            secret_reg (Gen_programs.print_ops ops)
+        | Ok _ -> true
+      end)
+
+(* The property is only meaningful if the generator actually produces
+   leaky programs; with the secret register as a branch/index source a
+   healthy fraction must leak. *)
+let test_soundness_nonvacuous () =
+  Alcotest.(check bool)
+    (Printf.sprintf "cross-validation saw %d leaking programs" !leaky_seen)
+    true (!leaky_seen > 20)
+
+(* ------------------------------------------------------------------ *)
+(* Witness programs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_witness ?window w =
+  match Taint.analyze_program ?window ~secret:w.Witness.secret
+          (Witness.program w)
+  with
+  | Error msg -> Alcotest.failf "%s: %s" w.Witness.name msg
+  | Ok fs -> fs
+
+let test_witness_verdicts () =
+  List.iter
+    (fun w ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s clean (committed)" w.Witness.name)
+        w.Witness.expect_clean
+        (analyze_witness ~window:0 w = []);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s clean (speculative window 32)" w.Witness.name)
+        w.Witness.expect_clean_speculative
+        (analyze_witness ~window:32 w = []))
+    Witness.all
+
+let test_speculative_labeling () =
+  let spectre = Option.get (Witness.find "spectre-v1") in
+  let fs = analyze_witness ~window:32 spectre in
+  Alcotest.(check bool) "spectre-v1 findings exist" true (fs <> []);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "spectre-v1 finding labeled speculative" true
+        f.Taint.speculative)
+    fs;
+  let branchy = Option.get (Witness.find "leaky-branch") in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "committed finding not labeled speculative" false
+        f.Taint.speculative)
+    (analyze_witness ~window:32 branchy)
+
+(* A program violating all four disciplines at once; the emitted findings
+   must come out sorted on (pc, kind). *)
+let test_findings_sorted () =
+  let items =
+    [
+      Asm.I (Instr.Muldiv { op = Instr.Div; rd = 7; rs1 = 6; rs2 = 10 });
+      Asm.Li (31, 0x8000);
+      Asm.I (Instr.Alu { op = Instr.Add; rd = 5; rs1 = 31; rs2 = 10 });
+      Asm.I (Instr.Load { kind = Instr.Ld; rd = 6; rs1 = 5; offset = 0 });
+      Asm.Br_to (Instr.Beq, 10, 0, "end");
+      Asm.I (Instr.Store { kind = Instr.Sd; rs1 = 5; rs2 = 6; offset = 8 });
+      Asm.Label "end";
+      Asm.I Instr.Wfi;
+    ]
+  in
+  let prog = Asm.assemble ~base:0x1000 items in
+  match Taint.analyze_program ~secret:{ Taint.regs = [ 10 ]; ranges = [] }
+          prog
+  with
+  | Error msg -> Alcotest.failf "undecodable: %s" msg
+  | Ok fs ->
+    Alcotest.(check int) "all four kinds found" 4 (List.length fs);
+    let keys = List.map (fun f -> (f.Taint.pc, f.Taint.kind)) fs in
+    Alcotest.(check bool) "sorted on (pc, kind)" true
+      (keys = List.sort compare keys)
+
+(* Dynamic anchors on the BASE timing machine: the leaky-branch witness
+   produces secret-dependent cycle counts, the constant-time select does
+   not. *)
+let witness_cycles w value =
+  let init_regs =
+    match w.Witness.secret_reg with Some r -> [ (r, value) ] | None -> []
+  in
+  let run =
+    Difftest.run_func ~init_regs ~program:(Witness.program w)
+      ~data_base:0x8000 ~data_bytes:1024 ~max_steps:20_000 ()
+  in
+  let uops =
+    Difftest.to_uops run ~func_code_base:w.Witness.base
+      ~func_data_base:0x8000
+  in
+  (Difftest.run_ooo ~variant:Config.Base uops).Difftest.cycles
+
+let test_leaky_branch_dynamic () =
+  let w = Option.get (Witness.find "leaky-branch") in
+  Alcotest.(check bool) "BASE cycles separate the secrets" true
+    (witness_cycles w 0L <> witness_cycles w 1L)
+
+let test_ct_select_dynamic () =
+  let w = Option.get (Witness.find "ct-select") in
+  Alcotest.(check int) "BASE cycles independent of the secret"
+    (witness_cycles w 0L) (witness_cycles w 1L)
+
+let test_reg_of_name () =
+  Alcotest.(check (option int)) "a0" (Some 10) (Reg.of_name "a0");
+  Alcotest.(check (option int)) "x31" (Some 31) (Reg.of_name "x31");
+  Alcotest.(check (option int)) "case-insensitive" (Some 10)
+    (Reg.of_name "A0");
+  Alcotest.(check (option int)) "zero alias" (Some 0) (Reg.of_name "zero");
+  Alcotest.(check (option int)) "unknown" None (Reg.of_name "nope");
+  Alcotest.(check (option int)) "out of range" None (Reg.of_name "x32")
+
+(* ------------------------------------------------------------------ *)
+(* Hardware-invariant linter                                            *)
+(* ------------------------------------------------------------------ *)
+
+let has_check fs name = List.exists (fun f -> f.Lint.check = name) fs
+
+let test_lint_secure_clean () =
+  List.iter
+    (fun cores ->
+      let fs = Lint.lint_timing ~name:"mi6" (Config.secure_multicore ~cores) in
+      Alcotest.(check int)
+        (Printf.sprintf "%d-core secure machine lints clean" cores)
+        0 (List.length fs))
+    [ 1; 2; 4 ]
+
+let test_lint_base_findings () =
+  let fs = Lint.lint_timing ~name:"base" (Config.timing ~cores:2 Config.Base) in
+  List.iter
+    (fun check ->
+      Alcotest.(check bool) (check ^ " flagged on BASE") true
+        (has_check fs check))
+    [ "purge-on-trap"; "mshr-vs-dram"; "llc-mshr-sharing"; "llc-partition" ]
+
+let test_lint_purge_floor () =
+  Alcotest.(check int) "paper floor is 512 cycles" 512
+    (Lint.required_purge_floor ~core:Core_config.default
+       ~l1:L1.default_config);
+  (* The binding structure: 4096-entry tournament tables at 8/cycle. *)
+  Alcotest.(check bool) "tournament tables dominate" true
+    (List.exists
+       (fun s ->
+         match s.Lint.s_coverage with
+         | Lint.Flushed { entries = 4096; rate = 8 } -> true
+         | _ -> false)
+       (Lint.purge_list ~core:Core_config.default ~l1:L1.default_config));
+  let t = Config.secure_multicore ~cores:2 in
+  let t =
+    { t with
+      Config.core = { t.Config.core with Core_config.purge_floor = 100 } }
+  in
+  Alcotest.(check bool) "lowered purge_floor flagged" true
+    (has_check (Lint.lint_timing ~name:"mi6" t) "purge-floor")
+
+let test_lint_mshr_sizing () =
+  let t = Config.secure_multicore ~cores:2 in
+  let clean = Lint.lint_timing ~name:"mi6" t in
+  Alcotest.(check bool) "exactly d_max/2 MSHRs pass" false
+    (has_check clean "mshr-vs-dram");
+  (* One more MSHR than the DRAM controller can sink breaks 5.1. *)
+  let t =
+    { t with
+      Config.llc = { t.Config.llc with Mi6_llc.Llc.mshrs = 14;
+                     mshr_banks = 1 } }
+  in
+  Alcotest.(check bool) "d_max/2 + 1 MSHRs flagged" true
+    (has_check (Lint.lint_timing ~name:"mi6" t) "mshr-vs-dram")
+
+let test_lint_partitions () =
+  let geometry = Addr.default_regions in
+  Alcotest.(check bool) "flat index flagged" true
+    (has_check
+       (Lint.lint_partitions ~geometry ~name:"flat" (Index.flat ~set_bits:10))
+       "llc-partition");
+  Alcotest.(check int) "partitioned index clean" 0
+    (List.length
+       (Lint.lint_partitions ~geometry ~name:"part"
+          (Index.partitioned ~set_bits:10 ~region_bits:2 ~geometry)))
+
+let test_lint_region_masks () =
+  let a = Bitvec.of_indices 8 [ 0; 1 ] in
+  let b = Bitvec.of_indices 8 [ 2; 3 ] in
+  let c = Bitvec.of_indices 8 [ 1; 4 ] in
+  Alcotest.(check int) "disjoint masks clean" 0
+    (List.length
+       (Lint.lint_region_masks ~subject:"t" [ ("a", a); ("b", b) ]));
+  let fs = Lint.lint_region_masks ~subject:"t" [ ("a", a); ("c", c) ] in
+  Alcotest.(check bool) "overlap flagged" true (has_check fs "region-overlap");
+  Alcotest.(check bool) "message names the shared region" true
+    (List.exists
+       (fun f ->
+         f.Lint.check = "region-overlap"
+         && String.length f.Lint.message > 0
+         && String.ends_with ~suffix:"region 1" f.Lint.message)
+       fs)
+
+let test_lint_ledger () =
+  let ledger = Region.create Addr.default_regions in
+  Alcotest.(check int) "fresh ledger clean" 0
+    (List.length (Lint.lint_ledger ledger));
+  Alcotest.(check bool) "carve two enclaves" true
+    (Region.transfer ledger ~regions:[ 1; 2 ] ~from_:Region.Os
+       ~to_:(Region.Enclave 0));
+  Alcotest.(check bool) "second enclave" true
+    (Region.transfer ledger ~regions:[ 3 ] ~from_:Region.Os
+       ~to_:(Region.Enclave 1));
+  Alcotest.(check int) "populated ledger clean" 0
+    (List.length (Lint.lint_ledger ledger));
+  (* Stealing an owned region must fail atomically and leave the ledger
+     lintable. *)
+  Alcotest.(check bool) "cross-domain steal rejected" false
+    (Region.transfer ledger ~regions:[ 2; 4 ] ~from_:Region.Os
+       ~to_:(Region.Enclave 1));
+  Alcotest.(check int) "ledger still clean after rejected transfer" 0
+    (List.length (Lint.lint_ledger ledger))
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mi6_analysis"
+    [
+      ( "soundness",
+        qsuite [ prop_soundness ]
+        @ [
+            Alcotest.test_case "property saw real leaks" `Quick
+              test_soundness_nonvacuous;
+          ] );
+      ( "witnesses",
+        [
+          Alcotest.test_case "static verdicts" `Quick test_witness_verdicts;
+          Alcotest.test_case "speculative labeling" `Quick
+            test_speculative_labeling;
+          Alcotest.test_case "findings sorted" `Quick test_findings_sorted;
+          Alcotest.test_case "leaky-branch leaks on BASE" `Quick
+            test_leaky_branch_dynamic;
+          Alcotest.test_case "ct-select constant-time on BASE" `Quick
+            test_ct_select_dynamic;
+          Alcotest.test_case "reg of_name" `Quick test_reg_of_name;
+        ] );
+      ( "hw-lint",
+        [
+          Alcotest.test_case "secure machine clean" `Quick
+            test_lint_secure_clean;
+          Alcotest.test_case "BASE findings" `Quick test_lint_base_findings;
+          Alcotest.test_case "purge floor" `Quick test_lint_purge_floor;
+          Alcotest.test_case "MSHR sizing" `Quick test_lint_mshr_sizing;
+          Alcotest.test_case "LLC set partitions" `Quick test_lint_partitions;
+          Alcotest.test_case "region masks" `Quick test_lint_region_masks;
+          Alcotest.test_case "ownership ledger" `Quick test_lint_ledger;
+        ] );
+    ]

@@ -14,160 +14,15 @@
 open Mi6_isa
 open Mi6_core
 
-(* ------------------------------------------------------------------ *)
-(* Random program generator                                            *)
-(* ------------------------------------------------------------------ *)
+(* The random forward-branching program generator lives in
+   {!Gen_programs}, shared with the taint-analysis soundness property
+   (test_analysis). *)
 
-let code_base = 0x1000
-let data_base = 0x8000
-let data_bytes = 1024
-
-(* Scratch registers the generator may write; x31 stays the data
-   pointer. *)
-let pool = [| 5; 6; 7; 8; 9; 10; 11; 12 |]
-let data_ptr = 31
-
-(* Abstract ops: branches carry a skip count instead of a label, so any
-   sublist (qcheck shrinking) still materializes into a valid
-   forward-branching program. *)
-type op =
-  | Li_op of int * int (* rd, value *)
-  | Alu3 of Instr.alu_op * int * int * int (* rd, rs1, rs2 *)
-  | Alui of Instr.alu_op * int * int * int (* rd, rs1, imm *)
-  | Mul3 of Instr.mul_op * int * int * int
-  | Ld_op of Instr.load_kind * int * int (* rd, offset *)
-  | St_op of Instr.store_kind * int * int (* rs2, offset *)
-  | Br_skip of Instr.branch_kind * int * int * int (* rs1, rs2, skip *)
-  | J_skip of int (* unconditional skip *)
-
-let split_at n xs =
-  let rec go n acc = function
-    | rest when n = 0 -> (List.rev acc, rest)
-    | [] -> (List.rev acc, [])
-    | x :: rest -> go (n - 1) (x :: acc) rest
-  in
-  go n [] xs
-
-(* Ops -> assembly items; labels are assigned during materialization so
-   they are always defined and always forward. *)
-let materialize ops =
-  let fresh = ref 0 in
-  let rec emit = function
-    | [] -> []
-    | Li_op (rd, v) :: rest -> Asm.Li (rd, v) :: emit rest
-    | Alu3 (op, rd, rs1, rs2) :: rest ->
-      Asm.I (Instr.Alu { op; rd; rs1; rs2 }) :: emit rest
-    | Alui (op, rd, rs1, imm) :: rest ->
-      Asm.I (Instr.Alu_imm { op; rd; rs1; imm }) :: emit rest
-    | Mul3 (op, rd, rs1, rs2) :: rest ->
-      Asm.I (Instr.Muldiv { op; rd; rs1; rs2 }) :: emit rest
-    | Ld_op (kind, rd, offset) :: rest ->
-      Asm.I (Instr.Load { kind; rd; rs1 = data_ptr; offset }) :: emit rest
-    | St_op (kind, rs2, offset) :: rest ->
-      Asm.I (Instr.Store { kind; rs1 = data_ptr; rs2; offset }) :: emit rest
-    | Br_skip (kind, rs1, rs2, n) :: rest ->
-      let n = min n (List.length rest) in
-      let skipped, after = split_at n rest in
-      let lbl = Printf.sprintf "L%d" !fresh in
-      incr fresh;
-      (Asm.Br_to (kind, rs1, rs2, lbl) :: emit skipped)
-      @ (Asm.Label lbl :: emit after)
-    | J_skip n :: rest ->
-      let n = min n (List.length rest) in
-      let skipped, after = split_at n rest in
-      let lbl = Printf.sprintf "L%d" !fresh in
-      incr fresh;
-      (Asm.J lbl :: emit skipped) @ (Asm.Label lbl :: emit after)
-  in
-  let prologue =
-    Asm.Li (data_ptr, data_base)
-    :: List.map
-         (fun r -> Asm.Li (r, (r * 0x1111) - 0x4000))
-         (Array.to_list pool)
-  in
-  prologue @ emit ops @ [ Asm.Label "halt"; Asm.I Instr.Wfi ]
-
-let op_gen =
-  let open QCheck.Gen in
-  let reg = map (fun i -> pool.(i)) (int_range 0 (Array.length pool - 1)) in
-  let src = frequency [ (7, reg); (1, return data_ptr) ] in
-  let alu_op =
-    oneofl
-      [ Instr.Add; Instr.Sub; Instr.Sll; Instr.Slt; Instr.Sltu; Instr.Xor;
-        Instr.Srl; Instr.Sra; Instr.Or; Instr.And ]
-  in
-  (* Shift-immediates need a valid shamt; keep immediates to the
-     logic/arith ops. *)
-  let alui_op =
-    oneofl [ Instr.Add; Instr.Slt; Instr.Sltu; Instr.Xor; Instr.Or; Instr.And ]
-  in
-  let mul_op =
-    oneofl [ Instr.Mul; Instr.Mulh; Instr.Div; Instr.Divu; Instr.Rem;
-             Instr.Remu ]
-  in
-  let br_kind =
-    oneofl [ Instr.Beq; Instr.Bne; Instr.Blt; Instr.Bge; Instr.Bltu;
-             Instr.Bgeu ]
-  in
-  frequency
-    [
-      (3, map3 (fun op rd (rs1, rs2) -> Alu3 (op, rd, rs1, rs2)) alu_op reg
-           (pair src src));
-      (3, map3 (fun op rd (rs1, imm) -> Alui (op, rd, rs1, imm)) alui_op reg
-           (pair src (int_range (-1024) 1023)));
-      (1, map3 (fun op rd (rs1, rs2) -> Mul3 (op, rd, rs1, rs2)) mul_op reg
-           (pair src src));
-      (1, map2 (fun rd v -> Li_op (rd, v)) reg (int_range (-100_000) 100_000));
-      ( 2,
-        map3
-          (fun kind rd off ->
-            let align =
-              match kind with Instr.Ld -> 8 | Instr.Lw -> 4 | _ -> 1
-            in
-            Ld_op (kind, rd, off / align * align))
-          (oneofl [ Instr.Ld; Instr.Lw; Instr.Lbu ])
-          reg
-          (int_range 0 (data_bytes - 9)) );
-      ( 2,
-        map3
-          (fun kind rs2 off ->
-            let align =
-              match kind with Instr.Sd -> 8 | Instr.Sw -> 4 | _ -> 1
-            in
-            St_op (kind, rs2, off / align * align))
-          (oneofl [ Instr.Sd; Instr.Sw; Instr.Sb ])
-          src
-          (int_range 0 (data_bytes - 9)) );
-      (2, map3 (fun kind (rs1, rs2) n -> Br_skip (kind, rs1, rs2, n)) br_kind
-           (pair src src) (int_range 1 4));
-      (1, map (fun n -> J_skip n) (int_range 1 4));
-    ]
-
-let ops_gen = QCheck.Gen.(list_size (int_range 0 40) op_gen)
-
-let item_to_string = function
-  | Asm.Label l -> l ^ ":"
-  | Asm.I i -> "  " ^ Instr.to_string i
-  | Asm.Br_to (kind, rs1, rs2, l) ->
-    let k =
-      match kind with
-      | Instr.Beq -> "beq" | Instr.Bne -> "bne" | Instr.Blt -> "blt"
-      | Instr.Bge -> "bge" | Instr.Bltu -> "bltu" | Instr.Bgeu -> "bgeu"
-    in
-    Printf.sprintf "  %s x%d, x%d, %s" k rs1 rs2 l
-  | Asm.Li (r, v) -> Printf.sprintf "  li x%d, %d" r v
-  | Asm.La (r, l) -> Printf.sprintf "  la x%d, %s" r l
-  | Asm.J l -> "  j " ^ l
-  | Asm.Jal_to (r, l) -> Printf.sprintf "  jal x%d, %s" r l
-  | Asm.Call l -> "  call " ^ l
-  | Asm.Ret -> "  ret"
-  | Asm.Nop -> "  nop"
-
-let print_ops ops =
-  String.concat "\n" (List.map item_to_string (materialize ops))
-
-let arbitrary_ops =
-  QCheck.make ~print:print_ops ~shrink:QCheck.Shrink.list ops_gen
+let code_base = Gen_programs.code_base
+let data_base = Gen_programs.data_base
+let data_bytes = Gen_programs.data_bytes
+let materialize = Gen_programs.materialize
+let arbitrary_ops = Gen_programs.arbitrary ()
 
 (* ------------------------------------------------------------------ *)
 (* The differential property                                           *)

@@ -150,6 +150,42 @@ let test_bitvec_full () =
   Bitvec.clear_all v;
   check_int "all clear" 0 (Bitvec.popcount v)
 
+(* Region-mask boundary cases: the linter's region bitvectors live and
+   die on bit 0 (the monitor region), the last bit, and full/empty
+   masks. *)
+let test_bitvec_boundaries () =
+  let n = 64 in
+  let v = Bitvec.create n in
+  Bitvec.set v 0;
+  check_bool "bit 0 set" true (Bitvec.get v 0);
+  check_int "only bit 0" 1 (Bitvec.popcount v);
+  check_bool "to_indices sees bit 0" true (Bitvec.to_indices v = [ 0 ]);
+  Bitvec.clear v 0;
+  Bitvec.set v (n - 1);
+  check_bool "last bit set" true (Bitvec.get v (n - 1));
+  check_bool "to_indices sees last bit" true
+    (Bitvec.to_indices v = [ n - 1 ]);
+  (* Disjointness at the two boundaries. *)
+  let lo = Bitvec.of_indices n [ 0 ] and hi = Bitvec.of_indices n [ n - 1 ] in
+  check_bool "bit 0 vs last bit disjoint" true (Bitvec.disjoint lo hi);
+  check_bool "bit 0 vs itself overlaps" false (Bitvec.disjoint lo lo);
+  (* Full and empty vectors. *)
+  let full = Bitvec.create_full n and empty = Bitvec.create n in
+  check_bool "empty is_empty" true (Bitvec.is_empty empty);
+  check_bool "full not empty" false (Bitvec.is_empty full);
+  check_bool "full vs empty disjoint" true (Bitvec.disjoint full empty);
+  check_bool "full vs bit 0 overlaps" false (Bitvec.disjoint full lo);
+  check_bool "full vs last bit overlaps" false (Bitvec.disjoint full hi);
+  check_int "full popcount" n (Bitvec.popcount full);
+  (* Widths that are not a word multiple keep their tail bits honest. *)
+  let odd = Bitvec.create_full 65 in
+  check_int "65-bit full popcount" 65 (Bitvec.popcount odd);
+  check_bool "65th bit set" true (Bitvec.get odd 64);
+  Bitvec.clear odd 64;
+  check_int "tail bit clears alone" 64 (Bitvec.popcount odd);
+  check_bool "equal after roundtrip" true
+    (Bitvec.equal odd (Bitvec.of_indices 65 (List.init 64 Fun.id)))
+
 let prop_bitvec_roundtrip =
   QCheck.Test.make ~name:"bitvec of_indices/to_indices roundtrip" ~count:200
     QCheck.(small_list (int_range 0 199))
@@ -397,6 +433,8 @@ let () =
           Alcotest.test_case "bounds checking" `Quick test_bitvec_bounds;
           Alcotest.test_case "disjointness" `Quick test_bitvec_disjoint;
           Alcotest.test_case "full/clear_all" `Quick test_bitvec_full;
+          Alcotest.test_case "region boundaries" `Quick
+            test_bitvec_boundaries;
         ]
         @ qsuite [ prop_bitvec_roundtrip; prop_bitvec_copy_independent ] );
       ( "rng",
