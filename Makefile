@@ -1,6 +1,6 @@
 # Convenience wrapper around dune; `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench-smoke audit-smoke sweep-smoke lint perf-compare ci clean
+.PHONY: all build test bench-smoke audit-smoke sweep-smoke telemetry-smoke top-smoke lint perf-compare ci clean
 
 all: build
 
@@ -31,6 +31,35 @@ sweep-smoke:
 		--warmup 2000 --measure 5000 --jobs 2 --stats-json sweep-parallel.json
 	cmp sweep-serial.json sweep-parallel.json
 
+# Telemetry gate: a run streaming JSONL snapshots every 1000 cycles must
+# produce a stream that validates (schema, dense seq, increasing cycles)
+# with a plausible snapshot count, and the per-cell streams of a sweep
+# must be byte-identical between serial and parallel execution.
+telemetry-smoke:
+	dune exec bin/mi6_sim.exe -- run -b gcc -v base --warmup 2000 \
+		--measure 20000 --telemetry telemetry.jsonl --telemetry-every 1000
+	dune exec bench/json_check.exe -- --telemetry telemetry.jsonl \
+		--min-snapshots 20
+	dune exec bin/mi6_sim.exe -- sweep -b gcc,mcf -v base,f+p+m+a \
+		--warmup 2000 --measure 5000 --jobs 1 --telemetry tel-serial \
+		--telemetry-every 1000 > /dev/null
+	dune exec bin/mi6_sim.exe -- sweep -b gcc,mcf -v base,f+p+m+a \
+		--warmup 2000 --measure 5000 --jobs 2 --telemetry tel-parallel \
+		--telemetry-every 1000 > /dev/null
+	for f in tel-serial#*; do \
+		cmp "$$f" "tel-parallel#$${f#tel-serial\#}" || exit 1; \
+	done
+	for f in tel-serial#*; do \
+		dune exec bench/json_check.exe -- --telemetry "$$f"; \
+	done
+
+# The live-view subcommand must render the latest snapshot of a fresh
+# stream in --once (CI) mode.
+top-smoke:
+	dune exec bin/mi6_sim.exe -- run -b gcc -v base --warmup 2000 \
+		--measure 20000 --telemetry telemetry.jsonl --telemetry-every 1000
+	dune exec bin/mi6_sim.exe -- top --once telemetry.jsonl
+
 # Diff the two most recent bench runs in BENCH_history.jsonl; exits
 # nonzero on a cycle or IPC regression past the default 5% thresholds.
 perf-compare:
@@ -57,9 +86,10 @@ lint:
 		fi; \
 	done
 
-ci: build test bench-smoke audit-smoke sweep-smoke lint
+ci: build test bench-smoke audit-smoke sweep-smoke telemetry-smoke top-smoke lint
 
 clean:
 	dune clean
 	rm -f BENCH_run.json audit.json sweep-serial.json sweep-parallel.json \
-		lint-mi6.json lint-base.json lint-witnesses.json
+		lint-mi6.json lint-base.json lint-witnesses.json \
+		telemetry.jsonl tel-serial\#* tel-parallel\#*

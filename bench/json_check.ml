@@ -1,15 +1,19 @@
 (* CI schema checker for the observability exports.
 
    usage: json_check [--require KEY]... [--chrome-trace FILE]...
-                     [--history FILE]... [FILE]...
+                     [--history FILE]... [--telemetry FILE]...
+                     [--min-snapshots N] [FILE]...
 
    Plain FILE arguments must parse as JSON (and contain every --require
    KEY at the top level).  --chrome-trace files must additionally follow
    the Chrome trace_event schema the simulator emits (a "traceEvents"
    list whose entries carry name/ph/ts/pid/tid with the right types).
    --history files are BENCH_history.jsonl databases: every non-blank
-   line must decode into a Perfdb record.  Exit 0 iff everything
-   passes. *)
+   line must decode into a Perfdb record.  --telemetry files are
+   Telemetry JSONL streams: every line must validate against the
+   snapshot schema, with dense sequence numbers and strictly increasing
+   cycles; --min-snapshots additionally bounds the count from below.
+   Exit 0 iff everything passes. *)
 
 open Mi6_obs
 
@@ -76,10 +80,18 @@ let check_history file =
     problems := [ "no records (empty history)" ];
   List.rev !problems
 
+let check_telemetry ~min_snapshots file =
+  match Telemetry.validate_file ~path:file with
+  | Ok n when n < min_snapshots ->
+    [ Printf.sprintf "only %d snapshot(s), need >= %d" n min_snapshots ]
+  | Ok _ -> []
+  | Error msg -> [ msg ]
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let require = ref [] in
   let plain = ref [] and chrome = ref [] and history = ref [] in
+  let telemetry = ref [] and min_snapshots = ref 1 in
   let rec parse = function
     | "--require" :: k :: rest ->
       require := k :: !require;
@@ -90,6 +102,17 @@ let () =
     | "--history" :: f :: rest ->
       history := f :: !history;
       parse rest
+    | "--telemetry" :: f :: rest ->
+      telemetry := f :: !telemetry;
+      parse rest
+    | "--min-snapshots" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some v when v >= 0 ->
+        min_snapshots := v;
+        parse rest
+      | _ ->
+        prerr_endline "json_check: --min-snapshots wants a non-negative int";
+        exit 2)
     | f :: rest ->
       plain := f :: !plain;
       parse rest
@@ -98,11 +121,13 @@ let () =
   parse args;
   let plain = List.rev !plain
   and chrome = List.rev !chrome
-  and history = List.rev !history in
-  if plain = [] && chrome = [] && history = [] then begin
+  and history = List.rev !history
+  and telemetry = List.rev !telemetry in
+  if plain = [] && chrome = [] && history = [] && telemetry = [] then begin
     prerr_endline
       "usage: json_check [--require KEY]... [--chrome-trace FILE]...\n\
-      \                  [--history FILE]... [FILE]...";
+      \                  [--history FILE]... [--telemetry FILE]...\n\
+      \                  [--min-snapshots N] [FILE]...";
     exit 2
   end;
   let fail = ref false in
@@ -137,4 +162,10 @@ let () =
       | exception Sys_error msg -> report file [ msg ]
       | problems -> report file problems)
     history;
+  List.iter
+    (fun file ->
+      match check_telemetry ~min_snapshots:!min_snapshots file with
+      | exception Sys_error msg -> report file [ msg ]
+      | problems -> report file problems)
+    telemetry;
   exit (if !fail then 1 else 0)

@@ -118,6 +118,18 @@ let stats_csv_file =
        & info [ "stats-csv" ] ~docv:"FILE"
            ~doc:"Write the metrics registry as flat name,value CSV.")
 
+let telemetry_file =
+  Arg.(value & opt (some string) None
+       & info [ "telemetry" ] ~docv:"FILE"
+           ~doc:"Stream schema-versioned JSONL telemetry snapshots of the \
+                 (last) run to $(docv) while it executes; watch with \
+                 $(b,mi6_sim top) $(docv).")
+
+let telemetry_every =
+  Arg.(value & opt int 10_000
+       & info [ "telemetry-every" ] ~docv:"N"
+           ~doc:"Cycles between telemetry snapshots.")
+
 let tracing_wanted ~trace_file ~trace_text_file =
   trace_file <> None || trace_text_file <> None
 
@@ -191,8 +203,10 @@ let run_cmd =
   in
   let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Dump all counters.") in
   let run benches variants warmup measure verbose trace_file trace_text_file
-      trace_filter stats_json_file stats_csv_file =
+      trace_filter stats_json_file stats_csv_file telemetry_file
+      telemetry_every =
     guard_io @@ fun () ->
+    let open Mi6_obs in
     let tracing = tracing_wanted ~trace_file ~trace_text_file in
     let variants =
       match variants with
@@ -204,20 +218,44 @@ let run_cmd =
     in
     let trace = make_trace ~trace_file ~trace_text_file ~trace_filter in
     let last = ref None in
+    let telemetry_snapshots = ref 0 in
     List.iter
       (fun bench ->
         List.iter
           (fun variant ->
             (* One trace per run: the exported file holds the last
-               (bench, variant) pair. *)
+               (bench, variant) pair.  Likewise telemetry: each run
+               reopens (truncates) the stream, so the file holds the
+               last run's snapshots with cycles increasing from 0. *)
             Mi6_obs.Trace.reset trace;
-            let r = Tmachine.run_spec ~trace ~variant ~bench ~warmup ~measure () in
+            let telemetry, selfprof, occupancy =
+              match telemetry_file with
+              | None -> (Telemetry.null, Selfprof.null, Occupancy.null)
+              | Some path ->
+                ( Telemetry.create ~every:telemetry_every ~path (),
+                  Selfprof.create (),
+                  Occupancy.create () )
+            in
+            let r =
+              Fun.protect
+                ~finally:(fun () ->
+                  telemetry_snapshots := Telemetry.snapshots telemetry;
+                  Telemetry.close telemetry)
+                (fun () ->
+                  Tmachine.run_spec ~trace ~telemetry ~selfprof ~occupancy
+                    ~variant ~bench ~warmup ~measure ())
+            in
             last := Some r;
             print_result ~label:(Mi6_workload.Spec.name bench) ~variant r
               ~verbose)
           variants)
       benches;
     if tracing then export_trace trace ~trace_file ~trace_text_file;
+    (match telemetry_file with
+    | Some path ->
+      Printf.printf "telemetry: %d snapshots -> %s (mi6_sim top %s)\n%!"
+        !telemetry_snapshots path path
+    | None -> ());
     (match !last with
     | Some r ->
       export_metrics r.Tmachine.metrics ~stats_json_file ~stats_csv_file
@@ -228,7 +266,7 @@ let run_cmd =
     (Cmd.info "run" ~exits ~doc:"run SPEC models on processor variants")
     Term.(const run $ benches $ variants $ warmup $ measure $ verbose
           $ trace_file $ trace_text_file $ trace_filter $ stats_json_file
-          $ stats_csv_file)
+          $ stats_csv_file $ telemetry_file $ telemetry_every)
 
 (* ------------------------------------------------------------------ *)
 (* multi                                                               *)
@@ -306,7 +344,7 @@ let sweep_cmd =
                    record for this invocation to $(docv) (JSONL).")
   in
   let run benches variants seeds warmup measure jobs stats_json_file
-      history_file =
+      history_file telemetry_file telemetry_every =
     guard_io @@ fun () ->
     let open Mi6_obs in
     let module Sweep = Mi6_exec.Sweep in
@@ -317,9 +355,22 @@ let sweep_cmd =
       warmup measure jobs;
     let t0 = Unix.gettimeofday () in
     let outcomes =
-      with_pool ~jobs (fun pool -> Sweep.run pool ~warmup ~measure cells)
+      with_pool ~jobs (fun pool ->
+          Sweep.run pool ?telemetry:telemetry_file ~telemetry_every ~warmup
+            ~measure cells)
     in
     let wall = Unix.gettimeofday () -. t0 in
+    (match telemetry_file with
+    | Some base ->
+      (* One deterministic-mode stream per cell: the file set and every
+         byte in it are identical for every --jobs value. *)
+      Printf.printf "telemetry: %d per-cell streams -> %s#CELL\n%!"
+        (List.length cells) base;
+      List.iter
+        (fun cell ->
+          Printf.printf "  %s\n" (Sweep.telemetry_path ~base cell))
+        cells
+    | None -> ());
     List.iter
       (fun (o : Sweep.outcome) ->
         let r = o.Sweep.result in
@@ -343,6 +394,11 @@ let sweep_cmd =
       let commit = Perfdb.git_commit () in
       let run_id = Perfdb.next_run_id (Perfdb.load ~path) ~commit in
       let records = Sweep.to_perfdb_records ~run_id ~commit outcomes in
+      let total_cycles =
+        List.fold_left
+          (fun acc (o : Sweep.outcome) -> acc + o.Sweep.result.Tmachine.cycles)
+          0 outcomes
+      in
       let wall_record =
         {
           Perfdb.run_id;
@@ -354,6 +410,17 @@ let sweep_cmd =
           ipc = 0.0;
           cpi = [];
           quantiles = [];
+          (* The bench name carries the job count, so the kips gate only
+             ever compares invocations with the same parallelism. *)
+          host =
+            Some
+              {
+                Perfdb.wall_s = wall;
+                kips =
+                  (if wall <= 0.0 then 0.0
+                   else float_of_int total_cycles /. wall /. 1000.0);
+                phases = [];
+              };
         }
       in
       Perfdb.append ~path (records @ [ wall_record ]);
@@ -369,7 +436,7 @@ let sweep_cmd =
           deterministic merge: --stats-json output is byte-identical for \
           every --jobs value")
     Term.(const run $ benches $ variants $ seeds $ warmup $ measure $ jobs
-          $ stats_json_file $ history_file)
+          $ stats_json_file $ history_file $ telemetry_file $ telemetry_every)
 
 (* ------------------------------------------------------------------ *)
 (* attack                                                              *)
@@ -453,12 +520,18 @@ let audit_cmd =
     let capture_of =
       let tbl = List.combine grid captures in
       fun cell name ->
-        let events, drops = List.assq cell tbl in
-        if drops > 0 then
+        let events, drops, dominant = List.assq cell tbl in
+        if drops > 0 then begin
+          let mostly =
+            match dominant with
+            | Some (kind, n) -> Printf.sprintf " (mostly %s: %d)" kind n
+            | None -> ""
+          in
           Printf.eprintf
-            "warning: %s trace ring dropped %d events; audit is \
+            "warning: %s trace ring dropped %d events%s; audit is \
              unreliable\n%!"
-            name drops;
+            name drops mostly
+        end;
         events
     in
     let audit_setup name =
@@ -587,12 +660,22 @@ let profile_cmd =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE" ~doc:"Write all CPI stacks as JSON.")
   in
-  let run benches variants warmup measure folded_file json_file jobs =
+  let self =
+    Arg.(value & flag
+         & info [ "self" ]
+             ~doc:"Also self-profile the $(i,simulator): per-phase host \
+                   ns/cycle and allocation per simulated cycle, overall \
+                   simulation speed, and the quiet-cycle (fast-forwardable) \
+                   fraction per stall cause.")
+  in
+  let run benches variants warmup measure folded_file json_file self jobs =
     guard_io @@ fun () ->
     let open Mi6_obs in
     (* Prefill every (bench, variant) run on the pool; the serial report
        below reads from this table, so its output does not depend on
-       --jobs. *)
+       --jobs.  (Phase attribution stays exact under parallelism — each
+       run owns its profiler — though absolute wall times inflate when
+       domains compete for cores.) *)
     let pairs =
       List.concat_map
         (fun bench -> List.map (fun variant -> (bench, variant)) variants)
@@ -601,7 +684,15 @@ let profile_cmd =
     let results =
       with_pool ~jobs (fun pool ->
           Mi6_exec.Pool.run_list pool pairs (fun (bench, variant) ->
-              Tmachine.run_spec ~variant ~bench ~warmup ~measure ()))
+              let selfprof = if self then Selfprof.create () else Selfprof.null in
+              let occupancy =
+                if self then Occupancy.create () else Occupancy.null
+              in
+              let r =
+                Tmachine.run_spec ~selfprof ~occupancy ~variant ~bench ~warmup
+                  ~measure ()
+              in
+              (r, selfprof, occupancy)))
     in
     let table = List.combine pairs results in
     let folded = Buffer.create 256 in
@@ -613,13 +704,37 @@ let profile_cmd =
         let stacks =
           List.map
             (fun variant ->
-              let r = List.assoc (bench, variant) table in
+              let r, _, _ = List.assoc (bench, variant) table in
               (match
                  List.assoc_opt "trace.dropped_events"
                    (Metrics.counters r.Tmachine.metrics)
                with
               | Some d when d > 0 ->
-                Printf.eprintf "warning: trace ring dropped %d events\n%!" d
+                (* Name the dominant dropped kind, so the warning says
+                   what the audit/trace lost, not just how much. *)
+                let dominant =
+                  let pfx = "trace.dropped." in
+                  let plen = String.length pfx in
+                  List.fold_left
+                    (fun acc (name, v) ->
+                      if
+                        String.length name > plen
+                        && String.sub name 0 plen = pfx
+                        && v > 0
+                        && (match acc with
+                           | Some (_, best) -> v > best
+                           | None -> true)
+                      then
+                        Some
+                          (String.sub name plen (String.length name - plen), v)
+                      else acc)
+                    None
+                    (Metrics.counters r.Tmachine.metrics)
+                in
+                Printf.eprintf "warning: trace ring dropped %d events%s\n%!" d
+                  (match dominant with
+                  | Some (kind, n) -> Printf.sprintf " (mostly %s: %d)" kind n
+                  | None -> "")
               | _ -> ());
               let s =
                 Cpistack.of_counters
@@ -650,7 +765,43 @@ let profile_cmd =
         all_stacks := (bname, stacks) :: !all_stacks;
         Printf.printf
           "CPI stack: %s (%d warmup + %d measured instructions)\n%s\n" bname
-          warmup measure (Cpistack.table stacks))
+          warmup measure (Cpistack.table stacks);
+        if self then
+          List.iter
+            (fun variant ->
+              let _, sp, occ = List.assoc (bench, variant) table in
+              let wall = Selfprof.wall_seconds sp in
+              Printf.printf "self-profile: %s/%s  wall=%.3fs  %.1f kcycles/s\n"
+                bname (Config.variant_name variant) wall
+                (Selfprof.overall_kips sp);
+              Printf.printf "  %-10s %9s %9s %9s\n" "phase" "seconds" "ns/cyc"
+                "B/cyc";
+              let sum =
+                List.fold_left
+                  (fun acc (name, seconds, ns, ab) ->
+                    if seconds > 0.0 || ns > 0.0 then
+                      Printf.printf "  %-10s %9.3f %9.1f %9.1f\n" name seconds
+                        ns ab;
+                    acc +. seconds)
+                  0.0 (Selfprof.report sp)
+              in
+              (* The attribution invariant, host-side: every instant of
+                 the run window lands in exactly one phase. *)
+              Printf.printf "  %-10s %9.3f   (%.1f%% of wall)\n" "sum" sum
+                (if wall > 0.0 then 100.0 *. sum /. wall else 0.0);
+              Printf.printf
+                "  quiet cycles: %d/%d (%.1f%%) fast-forwardable\n"
+                (Occupancy.quiet_cycles occ) (Occupancy.cycles occ)
+                (100.0 *. Occupancy.quiet_fraction occ);
+              List.iter
+                (fun (cause, quiet, total) ->
+                  Printf.printf "    %-12s %6.1f%% of %d\n" cause
+                    (if total = 0 then 0.0
+                     else 100.0 *. float_of_int quiet /. float_of_int total)
+                    total)
+                (Occupancy.by_cause occ);
+              print_newline ())
+            variants)
       benches;
     (match folded_file with
     | Some path ->
@@ -686,9 +837,151 @@ let profile_cmd =
     (Cmd.info "profile" ~exits
        ~doc:
          "top-down CPI-stack attribution per variant (where every cycle \
-          went: commits, mispredicts, L1/LLC/DRAM stalls, TLB walks, purges)")
+          went: commits, mispredicts, L1/LLC/DRAM stalls, TLB walks, \
+          purges); --self adds host-cost attribution of the simulator \
+          itself")
     Term.(const run $ benches $ variants $ warmup $ measure $ folded_file
-          $ json_file $ jobs)
+          $ json_file $ self $ jobs)
+
+(* ------------------------------------------------------------------ *)
+(* top                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Live view over a telemetry JSONL stream (written by run/sweep
+   --telemetry): re-reads the file every --interval seconds and renders
+   the latest snapshot as a table.  --once renders a single frame and
+   exits, for CI smoke tests. *)
+let top_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE"
+             ~doc:"Telemetry JSONL stream to watch (see run/sweep \
+                   $(b,--telemetry)).")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Render the latest snapshot once and exit (CI-friendly; \
+                   exits 2 when the stream holds no snapshot yet).")
+  in
+  let interval =
+    Arg.(value & opt float 1.0
+         & info [ "interval" ] ~docv:"SECONDS"
+             ~doc:"Refresh period in follow mode.")
+  in
+  let run file once interval =
+    guard_io @@ fun () ->
+    let open Mi6_obs in
+    (* Whole-file re-read each frame: snapshots are append-only and a
+       stream is at most a few thousand lines, so this stays trivially
+       cheap and needs no tail-follow state. *)
+    let read_last () =
+      if not (Sys.file_exists file) then None
+      else begin
+        let ic = open_in file in
+        let count = ref 0 and last = ref None in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then begin
+               incr count;
+               last := Some line
+             end
+           done
+         with End_of_file -> ());
+        close_in ic;
+        Option.map (fun l -> (!count, l)) !last
+      end
+    in
+    let render n line =
+      let j = Json.of_string line in
+      let jint name =
+        match Json.member name j with Some (Json.Int i) -> i | _ -> 0
+      in
+      let cycle = jint "cycle" and dcycles = jint "dcycles" in
+      let instrs = jint "instrs" and dinstrs = jint "dinstrs" in
+      Printf.printf "mi6_sim top — %s  (snapshot %d, seq %d)\n" file n
+        (jint "seq");
+      Printf.printf "cycle  %12d  (+%d)\n" cycle dcycles;
+      Printf.printf "instrs %12d  (+%d)   window ipc %.3f\n" instrs dinstrs
+        (if dcycles = 0 then 0.0
+         else float_of_int dinstrs /. float_of_int dcycles);
+      (match Json.member "host" j with
+      | Some host ->
+        let hf name =
+          match Json.member name host with
+          | Some (Json.Float f) -> f
+          | Some (Json.Int i) -> float_of_int i
+          | _ -> 0.0
+        in
+        Printf.printf "host   %10.1f kcycles/s   %.1fs elapsed\n" (hf "kips")
+          (hf "wall_s")
+      | None -> Printf.printf "host   (deterministic stream: omitted)\n");
+      (match Json.member "occupancy" j with
+      | Some occ ->
+        (match Json.member "quiet_fraction" occ with
+        | Some (Json.Float f) ->
+          Printf.printf "quiet  %10.1f%% of cycles fast-forwardable\n"
+            (100.0 *. f)
+        | _ -> ());
+        (match Json.member "structures" occ with
+        | Some (Json.Obj structures) when structures <> [] ->
+          Printf.printf "%-10s %8s %6s %6s\n" "structure" "mean" "p95" "max";
+          List.iter
+            (fun (name, h) ->
+              let g field =
+                match Json.member field h with
+                | Some (Json.Int i) -> float_of_int i
+                | Some (Json.Float f) -> f
+                | _ -> 0.0
+              in
+              Printf.printf "%-10s %8.2f %6.0f %6.0f\n" name (g "mean")
+                (g "p95") (g "max"))
+            structures
+        | _ -> ())
+      | None -> ());
+      (match Json.member "counters" j with
+      | Some (Json.Obj deltas) when deltas <> [] ->
+        let top =
+          List.filteri (fun i _ -> i < 6)
+            (List.sort
+               (fun (_, a) (_, b) -> compare b a)
+               (List.filter_map
+                  (fun (k, v) ->
+                    match v with Json.Int i -> Some (k, i) | _ -> None)
+                  deltas))
+        in
+        Printf.printf "hot counters (delta):\n";
+        List.iter (fun (k, v) -> Printf.printf "  %-28s %+d\n" k v) top
+      | _ -> ())
+    in
+    if once then (
+      match read_last () with
+      | None ->
+        Printf.eprintf "mi6_sim top: no snapshot in %s yet\n%!" file;
+        2
+      | Some (n, line) ->
+        render n line;
+        0)
+    else begin
+      (* Follow until interrupted. *)
+      while true do
+        print_string "\027[2J\027[H";
+        (match read_last () with
+        | None -> Printf.printf "mi6_sim top — waiting for %s ...\n" file
+        | Some (n, line) -> render n line);
+        flush stdout;
+        Unix.sleepf interval
+      done;
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "top" ~exits
+       ~doc:
+         "live table over a telemetry JSONL stream: cycles, instrs, kips, \
+          structure occupancy, quiet-cycle fraction")
+    Term.(const run $ file $ once $ interval)
 
 (* ------------------------------------------------------------------ *)
 (* area                                                                *)
@@ -1039,7 +1332,7 @@ let () =
       (Cmd.group ~default:Term.(ret (const (`Help (`Pager, None))))
          (Cmd.info "mi6_sim" ~doc ~exits)
          [ run_cmd; multi_cmd; sweep_cmd; attack_cmd; audit_cmd; profile_cmd;
-           area_cmd; lint_cmd ])
+           top_cmd; area_cmd; lint_cmd ])
   in
   (* Cmdliner reports its own CLI parse errors as 124; fold that into the
      documented usage-error code. *)

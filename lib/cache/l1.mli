@@ -84,3 +84,12 @@ val replacement_signature : t -> int
 (** Demand-miss latency distribution (request accepted to fill), in
     cycles.  Prefetch fills are excluded. *)
 val miss_latency : t -> Histogram.t
+
+(** Fold of input queue / MSHR / completion / flush-cursor state for the
+    quiet-cycle detector (see {!Mi6_util.Statesig}); the data array and
+    replacement metadata are excluded (they change only in cycles that
+    also move the included state). *)
+val structural_signature : t -> int
+
+(** Detailed render of the same state, for the byte-compare oracle. *)
+val dump_state : t -> Buffer.t -> unit

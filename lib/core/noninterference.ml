@@ -271,12 +271,14 @@ let victim_observation setup ~attacker =
   let events =
     List.filter (fun (_, ev) -> victim_event vcore ev) (Trace.events trace)
   in
-  (events, Trace.dropped trace)
+  (events, Trace.dropped trace, Trace.dominant_dropped trace)
 
-let victim_llc_events setup ~attacker = victim_observation setup ~attacker
+let victim_llc_events setup ~attacker =
+  let events, drops, _dominant = victim_observation setup ~attacker in
+  (events, drops)
 
 let victim_timeline setup ~attacker_floods =
-  let events, _drops =
+  let events, _drops, _dominant =
     victim_observation setup
       ~attacker:(if attacker_floods then A_flood else A_idle)
   in

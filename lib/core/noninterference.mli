@@ -103,6 +103,10 @@ val audit_grid :
 (** ["setup/attacker"], e.g. ["mi6/flood"]. *)
 val audit_cell_name : audit_cell -> string
 
-(** [run_audit_cell c] — {!victim_llc_events} for the cell. *)
+(** [run_audit_cell c] — {!victim_llc_events} for the cell, plus the
+    trace ring's dominant dropped event kind (as
+    [Some (kind, count)]) so a nonzero-drop warning can say {e what}
+    was lost, not just how much. *)
 val run_audit_cell :
-  audit_cell -> (int * Mi6_obs.Trace.event) list * int
+  audit_cell ->
+  (int * Mi6_obs.Trace.event) list * int * (string * int) option

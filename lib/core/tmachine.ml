@@ -3,7 +3,11 @@ type t = {
   l1ds : L1.t array;
   l1is : L1.t array;
   llc : Llc.t;
+  stats : Stats.t;
   trace : Trace.t;
+  selfprof : Selfprof.t;
+  occupancy : Occupancy.t;
+  telemetry : Telemetry.t;
   mutable clock : int;
 }
 
@@ -22,7 +26,9 @@ let pt_base_line ~core =
   Addr.region_base Addr.default_regions (region_block core + 4)
   / Addr.line_bytes
 
-let create ?(trace = Trace.null) (timing : Config.timing) ~streams ~stats =
+let create ?(trace = Trace.null) ?(selfprof = Selfprof.null)
+    ?(occupancy = Occupancy.null) ?(telemetry = Telemetry.null)
+    (timing : Config.timing) ~streams ~stats =
   let n = Array.length streams in
   let ports = 2 * n in
   if timing.Config.llc.Llc.cores <> ports then
@@ -33,8 +39,8 @@ let create ?(trace = Trace.null) (timing : Config.timing) ~streams ~stats =
       ~max_outstanding:timing.Config.dram_outstanding ~stats ()
   in
   let llc =
-    Llc.create ~trace timing.Config.llc ~security:timing.Config.llc_security
-      ~links ~dram ~stats
+    Llc.create ~trace ~selfprof timing.Config.llc
+      ~security:timing.Config.llc_security ~links ~dram ~stats
   in
   let l1ds =
     Array.init n (fun i ->
@@ -50,11 +56,12 @@ let create ?(trace = Trace.null) (timing : Config.timing) ~streams ~stats =
   in
   let cores =
     Array.init n (fun i ->
-        Core.create ~trace ~id:i timing.Config.core ~l1i:l1is.(i)
+        Core.create ~trace ~selfprof ~id:i timing.Config.core ~l1i:l1is.(i)
           ~l1d:l1ds.(i) ~stream:streams.(i) ~stats
           ~pt_base_line:(pt_base_line ~core:i))
   in
-  { cores; l1ds; l1is; llc; trace; clock = 0 }
+  { cores; l1ds; l1is; llc; stats; trace; selfprof; occupancy; telemetry;
+    clock = 0 }
 
 (* Registry over every component's counters and distributions; values are
    read at export time, so build it once and export after the run. *)
@@ -93,22 +100,86 @@ let metrics m ~stats =
      along with every metrics export. *)
   Metrics.set_int reg ~name:"trace.events" (Trace.length m.trace);
   Metrics.set_int reg ~name:"trace.dropped_events" (Trace.dropped m.trace);
+  List.iter
+    (fun (kind, n) ->
+      Metrics.set_int reg ~name:("trace.dropped." ^ kind) n)
+    (Trace.dropped_by_kind m.trace);
+  if Occupancy.enabled m.occupancy then Occupancy.register m.occupancy reg;
   reg
 
 let now t = t.clock
 let core t i = t.cores.(i)
 
+(* Whole-machine structure signature: the cores (each covering its own
+   walker), both L1s per core, and the LLC (which also folds the links
+   and the DRAM controller). *)
+let structural_signature t =
+  let h = ref Statesig.empty in
+  Array.iter
+    (fun c -> h := Statesig.mix !h (Core.structural_signature c))
+    t.cores;
+  Array.iter (fun l -> h := Statesig.mix !h (L1.structural_signature l)) t.l1ds;
+  Array.iter (fun l -> h := Statesig.mix !h (L1.structural_signature l)) t.l1is;
+  Statesig.mix !h (Llc.structural_signature t.llc)
+
+let dump_state t =
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun c ->
+      Core.dump_state c buf;
+      Buffer.add_char buf '\n')
+    t.cores;
+  Array.iter
+    (fun l ->
+      L1.dump_state l buf;
+      Buffer.add_char buf '\n')
+    t.l1ds;
+  Array.iter
+    (fun l ->
+      L1.dump_state l buf;
+      Buffer.add_char buf '\n')
+    t.l1is;
+  Llc.dump_state t.llc buf;
+  Buffer.contents buf
+
+let committed t =
+  Array.fold_left (fun n c -> n + Core.committed_instructions c) 0 t.cores
+
 let tick t =
   let now = t.clock in
+  let sp = t.selfprof in
   Array.iteri
     (fun i core ->
       Core.tick core ~now;
+      let p = Selfprof.switch sp Selfprof.ph_l1 in
       L1.tick t.l1ds.(i) ~now ~complete:(fun id ->
           Core.mem_complete core ~now ~id);
-      L1.tick t.l1is.(i) ~now ~complete:(fun id -> Core.icache_complete core ~id))
+      L1.tick t.l1is.(i) ~now ~complete:(fun id -> Core.icache_complete core ~id);
+      Selfprof.restore sp p)
     t.cores;
+  let p = Selfprof.switch sp Selfprof.ph_llc in
   Llc.tick t.llc ~now;
-  t.clock <- now + 1
+  Selfprof.restore sp p;
+  t.clock <- now + 1;
+  if Occupancy.enabled t.occupancy then begin
+    let rob = ref 0 and iq = ref 0 and lq = ref 0 and sq = ref 0 and sb = ref 0 in
+    Array.iter
+      (fun c ->
+        rob := !rob + Core.rob_occupancy c;
+        iq := !iq + Core.iq_occupancy c;
+        lq := !lq + Core.lq_occupancy c;
+        sq := !sq + Core.sq_occupancy c;
+        sb := !sb + Core.sb_occupancy c)
+      t.cores;
+    Occupancy.sample t.occupancy ~rob:!rob ~iq:!iq ~lq:!lq ~sq:!sq ~sb:!sb
+      ~mshr:(Llc.live_mshrs t.llc);
+    Occupancy.note_cycle t.occupancy ~signature:(structural_signature t)
+      ~cause:(Core.last_cycle_cause t.cores.(0))
+  end;
+  if Telemetry.enabled t.telemetry then
+    Telemetry.maybe_emit t.telemetry ~cycle:t.clock ~instrs:(committed t)
+      ~counters:(fun () -> Stats.to_assoc t.stats)
+      ~occupancy:t.occupancy ~selfprof:t.selfprof
 
 let finished t = Array.for_all Core.finished t.cores
 
@@ -133,18 +204,26 @@ let mpki r counter =
   if r.instrs = 0 then 0.0
   else 1000.0 *. float_of_int (Stats.get r.stats counter) /. float_of_int r.instrs
 
-let run_stream ?trace ~timing ~stream ~warmup ~measure () =
+let run_stream ?trace ?selfprof ?occupancy ?telemetry ~timing ~stream ~warmup
+    ~measure () =
   ignore measure;
   let stats = Stats.create () in
-  let m = create ?trace timing ~streams:[| stream |] ~stats in
+  let m =
+    create ?trace ?selfprof ?occupancy ?telemetry timing ~streams:[| stream |]
+      ~stats
+  in
   let c = m.cores.(0) in
   let snap = ref None in
   let budget = 400_000_000 in
+  Selfprof.run_begin m.selfprof;
   while (not (finished m)) && m.clock < budget do
     tick m;
+    if m.clock land 0xFFFF = 0 then
+      Selfprof.sample m.selfprof ~cycles:m.clock ~instrs:(committed m);
     if !snap = None && Core.committed_instructions c >= warmup then
       snap := Some (m.clock, Core.committed_instructions c, Stats.copy stats)
   done;
+  Selfprof.run_end m.selfprof ~cycles:m.clock ~instrs:(committed m);
   if not (finished m) then failwith "Tmachine.run_stream: cycle budget exhausted";
   let finish ~cycles ~instrs ~stats:window =
     let reg = metrics m ~stats:window in
@@ -180,27 +259,33 @@ let spec_stream ?(seed = 0) ~core ~bench ~limit () =
   in
   Mi6_workload.Synth.stream gen ~limit
 
-let run_spec ?trace ?seed ~variant ~bench ~warmup ~measure () =
+let run_spec ?trace ?selfprof ?occupancy ?telemetry ?seed ~variant ~bench
+    ~warmup ~measure () =
   let timing = Config.timing ~cores:1 variant in
   let stream = spec_stream ?seed ~core:0 ~bench ~limit:(warmup + measure) () in
-  run_stream ?trace ~timing ~stream ~warmup ~measure ()
+  run_stream ?trace ?selfprof ?occupancy ?telemetry ~timing ~stream ~warmup
+    ~measure ()
 
 (* Multiprogrammed run: one SPEC model per core, each confined to its own
    region block — the multiprocessor methodology the paper could not fit
    on its FPGA (Section 7.2). *)
-let run_multi ?trace ~timing ~benches ~warmup ~measure () =
+let run_multi ?trace ?selfprof ?occupancy ?telemetry ~timing ~benches ~warmup
+    ~measure () =
   let n = Array.length benches in
   let stats = Stats.create () in
   let streams =
     Array.init n (fun i ->
         spec_stream ~core:i ~bench:benches.(i) ~limit:(warmup + measure) ())
   in
-  let m = create ?trace timing ~streams ~stats in
+  let m = create ?trace ?selfprof ?occupancy ?telemetry timing ~streams ~stats in
   let snaps = Array.make n None in
   let fins = Array.make n None in
   let budget = 600_000_000 in
+  Selfprof.run_begin m.selfprof;
   while (not (finished m)) && m.clock < budget do
     tick m;
+    if m.clock land 0xFFFF = 0 then
+      Selfprof.sample m.selfprof ~cycles:m.clock ~instrs:(committed m);
     Array.iteri
       (fun i core ->
         let c = Core.committed_instructions core in
@@ -210,6 +295,7 @@ let run_multi ?trace ~timing ~benches ~warmup ~measure () =
           fins.(i) <- Some (m.clock, c))
       m.cores
   done;
+  Selfprof.run_end m.selfprof ~cycles:m.clock ~instrs:(committed m);
   if not (finished m) then failwith "Tmachine.run_multi: budget exhausted";
   let reg = metrics m ~stats in
   Array.init n (fun i ->

@@ -12,9 +12,15 @@ type t
 
 (** [create ?trace timing ~streams ~stats] builds a machine with one core
     per stream.  [trace] (default {!Trace.null}) is shared by every
-    component for cycle-stamped event capture. *)
+    component for cycle-stamped event capture; [selfprof] attributes host
+    cost to simulation phases, [occupancy] samples structure occupancy
+    and classifies quiet cycles, [telemetry] streams periodic JSONL
+    snapshots — each defaults to its disabled singleton. *)
 val create :
   ?trace:Trace.t ->
+  ?selfprof:Selfprof.t ->
+  ?occupancy:Occupancy.t ->
+  ?telemetry:Telemetry.t ->
   Config.timing ->
   streams:(unit -> Uop.t option) array ->
   stats:Stats.t ->
@@ -24,6 +30,20 @@ val tick : t -> unit
 val now : t -> int
 val core : t -> int -> Core.t
 val finished : t -> bool
+
+(** Committed instructions summed over all cores. *)
+val committed : t -> int
+
+(** [structural_signature t] folds every component's structure state
+    (cores, walkers, L1s, LLC, links, DRAM) into one {!Mi6_util.Statesig}
+    hash; two consecutive cycles with equal signatures advanced nothing
+    but the clock (the quiet-cycle criterion). *)
+val structural_signature : t -> int
+
+(** [dump_state t] — labelled rendering of the same state
+    {!structural_signature} folds; the quiet-cycle property test
+    byte-compares consecutive dumps as the oracle. *)
+val dump_state : t -> string
 
 (** [run t ~max_cycles] ticks until every core finishes; returns cycles.
     Raises [Failure] on timeout. *)
@@ -55,6 +75,9 @@ val mpki : result -> string -> float
     independent streams of the same model. *)
 val run_spec :
   ?trace:Trace.t ->
+  ?selfprof:Selfprof.t ->
+  ?occupancy:Occupancy.t ->
+  ?telemetry:Telemetry.t ->
   ?seed:int ->
   variant:Config.variant ->
   bench:Mi6_workload.Spec.bench ->
@@ -63,11 +86,27 @@ val run_spec :
   unit ->
   result
 
+(** [spec_stream ?seed ~core ~bench ~limit ()] — the µop stream
+    [run_spec] drives: [bench]'s synthetic model confined to [core]'s
+    region block, ending after [limit] µops.  Exposed for tests that
+    need to drive {!create}/{!tick} directly. *)
+val spec_stream :
+  ?seed:int ->
+  core:int ->
+  bench:Mi6_workload.Spec.bench ->
+  limit:int ->
+  unit ->
+  unit ->
+  Uop.t option
+
 (** [run_stream ~timing ~stream ~warmup ~measure] — same measurement
     protocol for an arbitrary µop stream (ablations, tests).  [stream]
     must end after [warmup + measure] µops. *)
 val run_stream :
   ?trace:Trace.t ->
+  ?selfprof:Selfprof.t ->
+  ?occupancy:Occupancy.t ->
+  ?telemetry:Telemetry.t ->
   timing:Config.timing ->
   stream:(unit -> Uop.t option) ->
   warmup:int ->
@@ -85,6 +124,9 @@ val run_stream :
     machine-wide). *)
 val run_multi :
   ?trace:Trace.t ->
+  ?selfprof:Selfprof.t ->
+  ?occupancy:Occupancy.t ->
+  ?telemetry:Telemetry.t ->
   timing:Config.timing ->
   benches:Mi6_workload.Spec.bench array ->
   warmup:int ->

@@ -29,3 +29,12 @@ let outstanding = function
   | Reorder (d, _) -> Fr_fcfs.outstanding d
 
 let max_outstanding = function Const (_, m) -> m | Reorder (_, m) -> m
+
+let structural_signature = function
+  | Const (d, _) -> Dram.structural_signature d
+  | Reorder (d, _) -> Fr_fcfs.structural_signature d
+
+let dump_state t buf =
+  match t with
+  | Const (d, _) -> Dram.dump_state d buf
+  | Reorder (d, _) -> Fr_fcfs.dump_state d buf

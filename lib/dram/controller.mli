@@ -14,3 +14,10 @@ val accept : t -> now:int -> req -> unit
 val tick : t -> now:int -> respond:(tag:int -> line:int -> unit) -> unit
 val outstanding : t -> int
 val max_outstanding : t -> int
+
+(** Fold of the active backend's structure state for the quiet-cycle
+    detector (see {!Mi6_util.Statesig}). *)
+val structural_signature : t -> int
+
+(** Detailed render of the same state, for the byte-compare oracle. *)
+val dump_state : t -> Buffer.t -> unit

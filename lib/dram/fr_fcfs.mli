@@ -30,3 +30,10 @@ val outstanding : t -> int
 (** [bank_of cfg ~line] is the bank index for a line (low-order line bits,
     standard interleaving). *)
 val bank_of : config -> line:int -> int
+
+(** Fold of queue / bank / response state for the quiet-cycle detector
+    (see {!Mi6_util.Statesig}). *)
+val structural_signature : t -> int
+
+(** Detailed render of the same state, for the byte-compare oracle. *)
+val dump_state : t -> Buffer.t -> unit

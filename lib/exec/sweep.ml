@@ -28,14 +28,36 @@ let cell_name c =
   let base = Spec.name c.bench ^ "/" ^ Config.variant_name c.variant in
   if c.seed = 0 then base else Printf.sprintf "%s#%d" base c.seed
 
-let run pool ~warmup ~measure cells =
+(* Telemetry file suffix for one cell: the cell name with '/' (a path
+   separator) flattened, appended after '#'.  Deterministic, so serial
+   and parallel sweeps of the same grid produce the same file set. *)
+let telemetry_path ~base cell =
+  let name =
+    String.map (fun c -> if c = '/' then '_' else c) (cell_name cell)
+  in
+  base ^ "#" ^ name
+
+let run pool ?telemetry ?(telemetry_every = 10_000) ~warmup ~measure cells =
   Pool.run_list pool cells (fun cell ->
       (* Everything a cell touches — stream generator, stats, metrics,
          caches, cores — is allocated inside this call; nothing mutable is
          shared with other cells. *)
+      let tel =
+        match telemetry with
+        | None -> Telemetry.null
+        | Some base ->
+          (* Deterministic mode: no host-derived fields, so each cell's
+             stream is byte-identical for every --jobs. *)
+          Telemetry.create ~deterministic:true ~every:telemetry_every
+            ~path:(telemetry_path ~base cell)
+            ()
+      in
       let result =
-        Tmachine.run_spec ~seed:cell.seed ~variant:cell.variant
-          ~bench:cell.bench ~warmup ~measure ()
+        Fun.protect
+          ~finally:(fun () -> Telemetry.close tel)
+          (fun () ->
+            Tmachine.run_spec ~telemetry:tel ~seed:cell.seed
+              ~variant:cell.variant ~bench:cell.bench ~warmup ~measure ())
       in
       { cell; result })
 
@@ -109,5 +131,8 @@ let to_perfdb_records ~run_id ~commit outcomes =
         ipc = Tmachine.ipc r;
         cpi;
         quantiles;
+        (* No host section: per-cell wall time depends on --jobs and
+           host load, and sweep outputs must stay machine-independent. *)
+        host = None;
       })
     outcomes

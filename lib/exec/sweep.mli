@@ -30,9 +30,25 @@ val cell_name : cell -> string
 
 (** [run pool ~warmup ~measure cells] runs every cell (in parallel when
     the pool has more than one domain) and returns outcomes in the given
-    cell order. *)
+    cell order.
+
+    [telemetry] (a base path) streams one deterministic-mode
+    {!Mi6_obs.Telemetry} JSONL file per cell to
+    [base ^ "#" ^ cell_name] (with ['/'] flattened to ['_']), a snapshot
+    every [telemetry_every] cycles (default 10000).  Deterministic mode
+    omits host-derived fields, so the file set is byte-identical for
+    every pool size. *)
 val run :
-  Pool.t -> warmup:int -> measure:int -> cell list -> outcome list
+  Pool.t ->
+  ?telemetry:string ->
+  ?telemetry_every:int ->
+  warmup:int ->
+  measure:int ->
+  cell list ->
+  outcome list
+
+(** The per-cell telemetry file path [run] derives from [base]. *)
+val telemetry_path : base:string -> cell -> string
 
 (** Fold every outcome's registry into a fresh accumulator registry, in
     list order.  Counter sums commute, so any permutation of the same

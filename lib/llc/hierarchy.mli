@@ -15,6 +15,7 @@ type t
 
 val create :
   ?trace:Trace.t ->
+  ?selfprof:Selfprof.t ->
   ?l1:L1.config ->
   ?link_depth:int ->
   llc:Llc.config ->

@@ -105,12 +105,14 @@ type t = {
   port_used : bool array; (* per-core outgoing port, per cycle *)
   (* Observability *)
   trace : Trace.t;
+  selfprof : Selfprof.t;
   mutable tnow : int; (* current cycle, for probes deep in the pipeline *)
   mutable live : int; (* allocated MSHR entries (avoids a per-tick scan) *)
   occ_hist : Histogram.t; (* MSHR occupancy, sampled once per tick *)
 }
 
-let create ?(trace = Trace.null) cfg ~security ~links ~dram ~stats =
+let create ?(trace = Trace.null) ?(selfprof = Selfprof.null) cfg ~security
+    ~links ~dram ~stats =
   if Array.length links <> cfg.cores then
     invalid_arg "Llc.create: one link per core required";
   if cfg.mshrs mod cfg.mshr_banks <> 0 then
@@ -139,12 +141,14 @@ let create ?(trace = Trace.null) cfg ~security ~links ~dram ~stats =
     dq_pending_read = None;
     port_used = Array.make cfg.cores false;
     trace;
+    selfprof;
     tnow = 0;
     live = 0;
     occ_hist = Histogram.create ();
   }
 
 let mshr_occupancy t = t.occ_hist
+let live_mshrs t = t.live
 
 let entry t idx =
   match t.entries.(idx) with
@@ -747,11 +751,13 @@ let tick t ~now =
   advance_pipeline t ~now;
   enter_pipeline t ~now;
   dq_dequeue t ~now;
+  let p = Selfprof.switch t.selfprof Selfprof.ph_dram in
   Controller.tick t.dram ~now ~respond:(fun ~tag ~line ->
       let e = entry t tag in
       assert (e.e_line = line);
       (* No backpressure on the DRAM response: buffered in the MSHR. *)
-      e.e_phase <- P_dram_arrived)
+      e.e_phase <- P_dram_arrived);
+  Selfprof.restore t.selfprof p
 
 let busy t =
   Array.exists (fun e -> e <> None) t.entries
@@ -778,3 +784,130 @@ let invalidate_region t ~geometry ~region =
       end)
     t.array;
   List.iter (fun (set, way) -> Sram.invalidate t.array ~set ~way) !to_drop
+
+(* ------------------------------------------------------------------ *)
+(* Structure state (quiet-cycle detector)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* MSHRs, every queue (pipeline, retry, UQ, DQ), the child links, and
+   the DRAM controller.  The cache array, directory metadata, and
+   replacement state are excluded: they only change in cycles that also
+   move an MSHR or a queue.  [port_used] is per-cycle scratch recomputed
+   from scratch each tick and is likewise excluded. *)
+
+let phase_code = function
+  | P_pipe -> 0
+  | P_blocked -> 1
+  | P_wait_retry -> 2
+  | P_wait_downgrade { victim } -> if victim then 4 else 3
+  | P_in_dq -> 5
+  | P_wait_dram -> 6
+  | P_dram_arrived -> 7
+  | P_wait_uq -> 8
+
+let sig_msi = function Msi.M -> 2 | Msi.S -> 1 | Msi.I -> 0
+
+let structural_signature t =
+  let h = ref Statesig.empty in
+  let i v = h := Statesig.mix !h v in
+  let b v = h := Statesig.mix_bool !h v in
+  i t.live;
+  Array.iter
+    (function
+      | None -> i (-1)
+      | Some e ->
+        i (phase_code e.e_phase);
+        i e.e_core;
+        i e.e_line;
+        i (sig_msi e.e_to);
+        i e.e_set;
+        i e.e_way;
+        b e.e_locks_way;
+        b e.e_needs_wb;
+        i e.e_wb_line;
+        b e.e_retry;
+        i (Hashtbl.hash e.e_pending);
+        h := Statesig.mix_list !h Hashtbl.hash e.e_to_send;
+        h := Statesig.mix_list !h Fun.id e.e_blocked;
+        i (match e.e_dq_kind with Dq_read -> 0 | Dq_wb -> 1))
+    t.entries;
+  i (Fifo.length t.pipe);
+  Fifo.iter
+    (fun (exit_at, msg) ->
+      i exit_at;
+      i (Hashtbl.hash msg))
+    t.pipe;
+  Array.iter
+    (fun q ->
+      i (Fifo.length q);
+      Fifo.iter i q)
+    t.retryq;
+  Array.iter
+    (fun q ->
+      i (Fifo.length q);
+      Fifo.iter i q)
+    t.uqs;
+  i (Fifo.length t.dq);
+  Fifo.iter i t.dq;
+  i (match t.dq_pending_read with None -> -1 | Some idx -> idx);
+  Array.iter
+    (fun l ->
+      i (Fifo.length l.Link.rq);
+      Fifo.iter (fun m -> i (Hashtbl.hash m)) l.Link.rq;
+      i (Fifo.length l.Link.rs);
+      Fifo.iter (fun m -> i (Hashtbl.hash m)) l.Link.rs;
+      i (Fifo.length l.Link.p2c);
+      Fifo.iter (fun m -> i (Hashtbl.hash m)) l.Link.p2c)
+    t.links;
+  i (Controller.structural_signature t.dram);
+  !h
+
+let dump_state t buf =
+  Printf.bprintf buf "llc.live=%d entries[" t.live;
+  Array.iter
+    (function
+      | None -> Buffer.add_char buf '-'
+      | Some e ->
+        Printf.bprintf buf "(ph=%d c=%d l=%d to=%d s=%d w=%d lk=%b wb=%b@%d r=%b p=%d ts=%d["
+          (phase_code e.e_phase) e.e_core e.e_line (sig_msi e.e_to) e.e_set
+          e.e_way e.e_locks_way e.e_needs_wb e.e_wb_line e.e_retry
+          (Hashtbl.hash e.e_pending)
+          (List.length e.e_to_send);
+        List.iter (fun x -> Printf.bprintf buf "%d;" (Hashtbl.hash x)) e.e_to_send;
+        Printf.bprintf buf "] blk[";
+        List.iter (fun x -> Printf.bprintf buf "%d;" x) e.e_blocked;
+        Printf.bprintf buf "] dq=%d)"
+          (match e.e_dq_kind with Dq_read -> 0 | Dq_wb -> 1))
+    t.entries;
+  Printf.bprintf buf "] pipe=%d[" (Fifo.length t.pipe);
+  Fifo.iter
+    (fun (exit_at, msg) -> Printf.bprintf buf "(%d,%d)" exit_at (Hashtbl.hash msg))
+    t.pipe;
+  Buffer.add_string buf "] retryq[";
+  Array.iter
+    (fun q ->
+      Fifo.iter (fun x -> Printf.bprintf buf "%d;" x) q;
+      Buffer.add_char buf '|')
+    t.retryq;
+  Buffer.add_string buf "] uqs[";
+  Array.iter
+    (fun q ->
+      Fifo.iter (fun x -> Printf.bprintf buf "%d;" x) q;
+      Buffer.add_char buf '|')
+    t.uqs;
+  Buffer.add_string buf "] dq[";
+  Fifo.iter (fun x -> Printf.bprintf buf "%d;" x) t.dq;
+  Printf.bprintf buf "] dqp=%s links["
+    (match t.dq_pending_read with None -> "-" | Some idx -> string_of_int idx);
+  Array.iter
+    (fun l ->
+      Buffer.add_string buf "rq=";
+      Fifo.iter (fun m -> Printf.bprintf buf "%d;" (Hashtbl.hash m)) l.Link.rq;
+      Buffer.add_string buf " rs=";
+      Fifo.iter (fun m -> Printf.bprintf buf "%d;" (Hashtbl.hash m)) l.Link.rs;
+      Buffer.add_string buf " p2c=";
+      Fifo.iter (fun m -> Printf.bprintf buf "%d;" (Hashtbl.hash m)) l.Link.p2c;
+      Buffer.add_char buf '|')
+    t.links;
+  Buffer.add_string buf "] dram=";
+  Controller.dump_state t.dram buf

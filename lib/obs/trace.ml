@@ -71,6 +71,39 @@ let event_core = function
     Some core
   | Cache_miss _ | Cache_fill _ | Dram_cmd _ -> None
 
+(* Event kinds (constructors) — the unit of drop accounting: when the
+   ring overwrites, knowing *what* was lost tells whether a timeline
+   analysis is invalidated (a dropped counter sample is cosmetic; a
+   dropped LLC arbiter grant is not). *)
+
+let kind_names =
+  [|
+    "counter"; "cache_miss"; "cache_fill"; "arb_grant"; "arb_idle";
+    "mshr_alloc"; "mshr_free"; "uq_send"; "dq_retry"; "dram_cmd";
+    "purge_begin"; "purge_phase"; "purge_end"; "walk_start"; "walk_end";
+  |]
+
+let n_kinds = Array.length kind_names
+
+let kind_index = function
+  | Counter _ -> 0
+  | Cache_miss _ -> 1
+  | Cache_fill _ -> 2
+  | Arb_grant _ -> 3
+  | Arb_idle _ -> 4
+  | Mshr_alloc _ -> 5
+  | Mshr_free _ -> 6
+  | Uq_send _ -> 7
+  | Dq_retry _ -> 8
+  | Dram_cmd _ -> 9
+  | Purge_begin _ -> 10
+  | Purge_phase _ -> 11
+  | Purge_end _ -> 12
+  | Walk_start _ -> 13
+  | Walk_end _ -> 14
+
+let event_kind_name ev = kind_names.(kind_index ev)
+
 let event_label = function
   | Counter { core; name; value } ->
     Printf.sprintf "counter core=%d %s=%d" core name value
@@ -114,10 +147,19 @@ type t = {
   mutable head : int; (* next write position *)
   mutable len : int;
   mutable drops : int;
+  drop_counts : int array; (* per event kind, length n_kinds *)
 }
 
 let null =
-  { enabled = false; mask = 0; buf = [||]; head = 0; len = 0; drops = 0 }
+  {
+    enabled = false;
+    mask = 0;
+    buf = [||];
+    head = 0;
+    len = 0;
+    drops = 0;
+    drop_counts = [||];
+  }
 
 let create ?(capacity = 65536) ?filter () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
@@ -130,6 +172,7 @@ let create ?(capacity = 65536) ?filter () =
     head = 0;
     len = 0;
     drops = 0;
+    drop_counts = Array.make n_kinds 0;
   }
 
 let active t cat = t.enabled && t.mask land cat_bit cat <> 0
@@ -137,13 +180,37 @@ let active t cat = t.enabled && t.mask land cat_bit cat <> 0
 let emit t ~now ev =
   if t.enabled && t.mask land cat_bit (category_of_event ev) <> 0 then begin
     let cap = Array.length t.buf in
+    if t.len < cap then t.len <- t.len + 1
+    else begin
+      (* Full ring: the slot about to be overwritten holds the oldest
+         event — charge the drop to its kind before losing it. *)
+      t.drops <- t.drops + 1;
+      let k = kind_index t.buf.(t.head).s_event in
+      t.drop_counts.(k) <- t.drop_counts.(k) + 1
+    end;
     t.buf.(t.head) <- { s_cycle = now; s_event = ev };
-    t.head <- (t.head + 1) mod cap;
-    if t.len < cap then t.len <- t.len + 1 else t.drops <- t.drops + 1
+    t.head <- (t.head + 1) mod cap
   end
 
 let length t = t.len
 let dropped t = t.drops
+
+let dropped_by_kind t =
+  if Array.length t.drop_counts = 0 then []
+  else begin
+    let rows = ref [] in
+    Array.iteri
+      (fun k c -> if c > 0 then rows := (kind_names.(k), c) :: !rows)
+      t.drop_counts;
+    (* Dominant kind first; name breaks ties deterministically. *)
+    List.sort
+      (fun (na, ca) (nb, cb) ->
+        if ca <> cb then compare cb ca else compare na nb)
+      !rows
+  end
+
+let dominant_dropped t =
+  match dropped_by_kind t with [] -> None | top :: _ -> Some top
 
 let iter t f =
   let cap = Array.length t.buf in
@@ -163,7 +230,8 @@ let events t =
 let reset t =
   t.head <- 0;
   t.len <- 0;
-  t.drops <- 0
+  t.drops <- 0;
+  Array.fill t.drop_counts 0 (Array.length t.drop_counts) 0
 
 (* ------------------------------------------------------------------ *)
 (* Export                                                              *)
@@ -267,6 +335,10 @@ let to_chrome_json t =
           [
             ("clock", Json.String "1 cycle = 1 us");
             ("dropped_events", Json.Int t.drops);
+            ( "dropped_by_kind",
+              Json.Obj
+                (List.map (fun (k, c) -> (k, Json.Int c)) (dropped_by_kind t))
+            );
           ] );
     ]
 

@@ -52,6 +52,11 @@ val event_core : event -> int option
     suitable for timeline-equality comparisons. *)
 val event_label : event -> string
 
+(** [event_kind_name ev] — the event's constructor as a stable
+    lowercase name ([arb_grant], [dram_cmd], ...); the unit of drop
+    accounting. *)
+val event_kind_name : event -> string
+
 type t
 
 (** [create ?capacity ?filter ()] — an enabled trace keeping the most
@@ -76,6 +81,14 @@ val length : t -> int
 
 (** Events overwritten because the ring was full. *)
 val dropped : t -> int
+
+(** Drop counts broken down by event kind, dominant kind first (ties by
+    name); empty when nothing was dropped.  A drop is charged to the
+    kind of the event {e overwritten}, not the one arriving. *)
+val dropped_by_kind : t -> (string * int) list
+
+(** The kind that lost the most events, with its count. *)
+val dominant_dropped : t -> (string * int) option
 
 (** Buffered events, oldest first. *)
 val events : t -> (int * event) list

@@ -81,7 +81,9 @@ type t = {
   mutable now : int;
   (* Observability *)
   trace : Trace.t;
+  selfprof : Selfprof.t;
   id : int; (* core index, for trace attribution *)
+  mutable last_cpi : int; (* Cpistack category index of the last tick *)
   mutable purge_started : int;
   lq_issued_at : int array; (* per LQ slot: cycle the load issued *)
   load_lat : Histogram.t; (* load issue-to-complete, cache path only *)
@@ -95,8 +97,8 @@ and rob_ref = { pre_uop : Uop.t; pre_mispredict : bool }
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create ?(trace = Trace.null) ?(id = 0) cfg ~l1i ~l1d ~stream ~stats
-    ~pt_base_line =
+let create ?(trace = Trace.null) ?(selfprof = Selfprof.null) ?(id = 0) cfg
+    ~l1i ~l1d ~stream ~stats ~pt_base_line =
   let tcache = Trans_cache.create ~entries_per_level:24 ~levels:2 in
   let free_list = Queue.create () in
   for p = 32 to cfg.Core_config.phys_regs - 1 do
@@ -153,7 +155,9 @@ let create ?(trace = Trace.null) ?(id = 0) cfg ~l1i ~l1d ~stream ~stats
     committed = 0;
     now = 0;
     trace;
+    selfprof;
     id;
+    last_cpi = 6;
     on_commit = ignore;
     purge_started = 0;
     lq_issued_at = Array.make cfg.Core_config.lq_entries 0;
@@ -842,34 +846,52 @@ let purge_stage t =
    I-TLB refill); otherwise the ROB head names the bottleneck — memory
    stalls split into TLB-walk, L1-miss (served within the LLC round
    trip) and LLC/DRAM (older than the round-trip hint). *)
+(* Counter names indexed by Cpistack.categories order:
+   base / mispredict / l1_miss / llc_dram / tlb_walk / purge / other. *)
+let cpi_counters =
+  [|
+    "core.cpi.base";
+    "core.cpi.mispredict";
+    "core.cpi.l1_miss";
+    "core.cpi.llc_dram";
+    "core.cpi.tlb_walk";
+    "core.cpi.purge";
+    "core.cpi.other";
+  |]
+
 let attribute_cycle t ~committed_before =
-  let counter =
-    if t.committed > committed_before then "core.cpi.base"
-    else if purging t then "core.cpi.purge"
+  let cat =
+    if t.committed > committed_before then 0 (* base *)
+    else if purging t then 5 (* purge *)
     else if rob_empty t then
       if t.fetch_blocked_on_resolve || t.now < t.fetch_stall_until then
-        "core.cpi.mispredict"
-      else if t.fetch_wait_icache then "core.cpi.l1_miss"
-      else if t.fetch_wait_itlb then "core.cpi.tlb_walk"
-      else "core.cpi.other"
+        1 (* mispredict *)
+      else if t.fetch_wait_icache then 2 (* l1_miss *)
+      else if t.fetch_wait_itlb then 4 (* tlb_walk *)
+      else 6 (* other *)
     else begin
       let e = rob_entry t t.rob_head in
       match e.u.Uop.kind with
       | (Uop.Load _ | Uop.Store _) when e.state <> Rs_done ->
         if t.dtlb_outstanding > 0 || Ptw.active_walks t.ptw > 0 then
-          "core.cpi.tlb_walk"
+          4 (* tlb_walk *)
         else begin
           match (e.u.Uop.kind, e.lq_slot, e.state) with
           | Uop.Load _, Some s, Rs_issued ->
             if t.now - t.lq_issued_at.(s) > t.cfg.Core_config.llc_roundtrip_hint
-            then "core.cpi.llc_dram"
-            else "core.cpi.l1_miss"
-          | _ -> "core.cpi.other"
+            then 3 (* llc_dram *)
+            else 2 (* l1_miss *)
+          | _ -> 6
         end
-      | _ -> "core.cpi.other"
+      | _ -> 6
     end
   in
-  Stats.incr t.stats counter
+  t.last_cpi <- cat;
+  Stats.incr t.stats cpi_counters.(cat)
+
+(* The stall category (Cpistack.categories index) the last tick was
+   attributed to; feeds the per-cause quiet-cycle accounting. *)
+let last_cycle_cause t = t.last_cpi
 
 (* ------------------------------------------------------------------ *)
 (* Tick and completions                                                *)
@@ -882,39 +904,56 @@ let tick t ~now =
   if now land 255 = 0 && Trace.active t.trace Trace.Core then
     Trace.emit t.trace ~now
       (Trace.Counter { core = t.id; name = "rob"; value = t.rob_count });
+  (* Host-cost attribution: the stages run strictly in sequence, so a
+     plain [switch] per stage suffices; [p0] (normally [harness]) is
+     restored on exit. *)
+  let sp = t.selfprof in
+  let p0 = Selfprof.switch sp Selfprof.ph_exec in
   run_events t;
   (match t.purge with
   | Pp_quiesce | Pp_flush _ ->
     (* The core idles while purging; only the drain machinery runs. *)
+    ignore (Selfprof.switch sp Selfprof.ph_mem);
     sb_stage t;
+    ignore (Selfprof.switch sp Selfprof.ph_ptw);
     Ptw.tick t.ptw ~issue:(fun ~line ~id ->
         if L1.can_accept t.l1d then begin
           L1.request t.l1d ~line ~store:false ~id;
           true
         end
         else false);
+    ignore (Selfprof.switch sp Selfprof.ph_commit);
     commit_stage t;
+    ignore (Selfprof.switch sp Selfprof.ph_purge);
     purge_stage t
   | Pp_none ->
     if t.purge_requested then begin
       t.purge_requested <- false;
+      ignore (Selfprof.switch sp Selfprof.ph_purge);
       begin_purge t Pk_external;
       purge_stage t
     end
     else begin
+      ignore (Selfprof.switch sp Selfprof.ph_commit);
       commit_stage t;
+      ignore (Selfprof.switch sp Selfprof.ph_issue);
       issue_stage t;
+      ignore (Selfprof.switch sp Selfprof.ph_mem);
       sb_stage t;
+      ignore (Selfprof.switch sp Selfprof.ph_ptw);
       Ptw.tick t.ptw ~issue:(fun ~line ~id ->
           if L1.can_accept t.l1d then begin
             L1.request t.l1d ~line ~store:false ~id;
             true
           end
           else false);
+      ignore (Selfprof.switch sp Selfprof.ph_rename);
       rename_stage t;
+      ignore (Selfprof.switch sp Selfprof.ph_fetch);
       fetch_stage t
     end);
-  attribute_cycle t ~committed_before
+  attribute_cycle t ~committed_before;
+  Selfprof.restore sp p0
 
 let mem_complete t ~now ~id =
   t.now <- max t.now now;
@@ -947,3 +986,159 @@ let finished t =
   t.stream_done && rob_empty t && Fifo.is_empty t.fetch_q
   && backend_quiescent t && t.purge = Pp_none
   && not t.purge_requested
+
+(* ------------------------------------------------------------------ *)
+(* Occupancy probes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rob_occupancy t = t.rob_count
+
+let iq_occupancy t =
+  Array.fold_left
+    (fun n q -> n + List.length !q)
+    (List.length !(t.iq_mem) + List.length !(t.iq_fp))
+    t.iq_alu
+
+let count_busy a = Array.fold_left (fun n b -> if b then n + 1 else n) 0 a
+let lq_occupancy t = count_busy t.lq
+let sq_occupancy t = t.sq_count
+let sb_occupancy t = count_busy t.sb
+
+(* ------------------------------------------------------------------ *)
+(* Structure state (quiet-cycle detector)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The fold covers everything whose change means the cycle did work:
+   fetch queue and front-end waits, ROB contents and cursors, issue
+   queues, LQ/SQ/SB, pending-event times, walker slots, purge machinery,
+   and the committed count.  Renaming state (map table, free list,
+   ready_at), predictors, TLB/translation-cache contents and
+   [lq_issued_at] are excluded: they only change in cycles that also
+   move an included structure.  Event closures cannot be hashed — their
+   scheduled times are folded instead, which is sound because every
+   retry path reschedules at a strictly later cycle. *)
+
+let rob_state_code = function Rs_waiting -> 0 | Rs_issued -> 1 | Rs_done -> 2
+
+let sig_opt = function None -> -1 | Some v -> v
+
+let purge_code = function
+  | Pp_none -> 0
+  | Pp_quiesce -> 1
+  | Pp_flush start -> 2 + start
+
+let purge_kind_code = function Pk_enter -> 0 | Pk_exit -> 1 | Pk_external -> 2
+
+let structural_signature t =
+  let h = ref Statesig.empty in
+  let i v = h := Statesig.mix !h v in
+  let b v = h := Statesig.mix_bool !h v in
+  i (Fifo.length t.fetch_q);
+  Fifo.iter
+    (fun r ->
+      i (Hashtbl.hash r.pre_uop);
+      b r.pre_mispredict)
+    t.fetch_q;
+  b t.stream_done;
+  i t.fetch_stall_until;
+  b t.fetch_blocked_on_resolve;
+  b t.fetch_wait_icache;
+  b t.fetch_wait_itlb;
+  i t.last_fetch_line;
+  i t.last_fetch_page;
+  i t.rob_head;
+  i t.rob_tail;
+  i t.rob_count;
+  Array.iter
+    (function
+      | None -> i (-1)
+      | Some e ->
+        i (Hashtbl.hash e.u);
+        i (sig_opt e.dst_phys);
+        i (sig_opt e.old_phys);
+        h := Statesig.mix_list !h Fun.id e.src_phys;
+        i (sig_opt e.lq_slot);
+        i (sig_opt e.sq_slot);
+        i (rob_state_code e.state);
+        b e.mispredict)
+    t.rob;
+  Array.iter (fun q -> h := Statesig.mix_list !h Fun.id !q) t.iq_alu;
+  h := Statesig.mix_list !h Fun.id !(t.iq_mem);
+  h := Statesig.mix_list !h Fun.id !(t.iq_fp);
+  Array.iter b t.lq;
+  i t.sq_head;
+  i t.sq_tail;
+  i t.sq_count;
+  Array.iter
+    (function
+      | None -> i (-1)
+      | Some s ->
+        i s.sq_line;
+        b s.sq_addr_ready)
+    t.sq;
+  Array.iteri (fun k busy -> if busy then i t.sb_lines.(k) else i (-1)) t.sb;
+  i (Queue.length t.sb_pending);
+  Queue.iter i t.sb_pending;
+  i t.dtlb_outstanding;
+  h := Statesig.mix_list !h fst !(t.events);
+  i (purge_code t.purge);
+  i (purge_kind_code t.purge_kind);
+  b (t.saved_predictors <> None);
+  b t.purge_requested;
+  i t.committed;
+  i t.purge_started;
+  i (Ptw.structural_signature t.ptw);
+  !h
+
+let dump_state t buf =
+  Printf.bprintf buf "core%d fq=%d[" t.id (Fifo.length t.fetch_q);
+  Fifo.iter
+    (fun r -> Printf.bprintf buf "(%d,%b)" (Hashtbl.hash r.pre_uop) r.pre_mispredict)
+    t.fetch_q;
+  Printf.bprintf buf "] sd=%b fsu=%d fbr=%b fwi=%b fwt=%b lfl=%d lfp=%d "
+    t.stream_done t.fetch_stall_until t.fetch_blocked_on_resolve
+    t.fetch_wait_icache t.fetch_wait_itlb t.last_fetch_line t.last_fetch_page;
+  Printf.bprintf buf "rob=%d/%d/%d[" t.rob_head t.rob_tail t.rob_count;
+  Array.iter
+    (function
+      | None -> Buffer.add_char buf '-'
+      | Some e ->
+        Printf.bprintf buf "(%d d=%d o=%d s=[" (Hashtbl.hash e.u)
+          (sig_opt e.dst_phys) (sig_opt e.old_phys);
+        List.iter (fun p -> Printf.bprintf buf "%d;" p) e.src_phys;
+        Printf.bprintf buf "] l=%d q=%d st=%d m=%b)" (sig_opt e.lq_slot)
+          (sig_opt e.sq_slot) (rob_state_code e.state) e.mispredict)
+    t.rob;
+  Buffer.add_string buf "] iq[";
+  Array.iter
+    (fun q ->
+      List.iter (fun x -> Printf.bprintf buf "%d;" x) !q;
+      Buffer.add_char buf '|')
+    t.iq_alu;
+  List.iter (fun x -> Printf.bprintf buf "%d;" x) !(t.iq_mem);
+  Buffer.add_char buf '|';
+  List.iter (fun x -> Printf.bprintf buf "%d;" x) !(t.iq_fp);
+  Buffer.add_string buf "] lq[";
+  Array.iter (fun busy -> Buffer.add_char buf (if busy then '1' else '0')) t.lq;
+  Printf.bprintf buf "] sq=%d/%d/%d[" t.sq_head t.sq_tail t.sq_count;
+  Array.iter
+    (function
+      | None -> Buffer.add_char buf '-'
+      | Some s -> Printf.bprintf buf "(%d,%b)" s.sq_line s.sq_addr_ready)
+    t.sq;
+  Buffer.add_string buf "] sb[";
+  Array.iteri
+    (fun k busy ->
+      if busy then Printf.bprintf buf "%d;" t.sb_lines.(k)
+      else Buffer.add_string buf "-;")
+    t.sb;
+  Buffer.add_string buf "] sbp[";
+  Queue.iter (fun s -> Printf.bprintf buf "%d;" s) t.sb_pending;
+  Printf.bprintf buf "] dtlb=%d ev[" t.dtlb_outstanding;
+  List.iter (fun (at, _) -> Printf.bprintf buf "%d;" at) !(t.events);
+  Printf.bprintf buf "] pg=%d pk=%d sp=%b pr=%b com=%d ps=%d "
+    (purge_code t.purge)
+    (purge_kind_code t.purge_kind)
+    (t.saved_predictors <> None)
+    t.purge_requested t.committed t.purge_started;
+  Ptw.dump_state t.ptw buf

@@ -24,6 +24,7 @@ type t
 
 val create :
   ?trace:Trace.t ->
+  ?selfprof:Selfprof.t ->
   ?id:int ->
   Core_config.t ->
   l1i:L1.t ->
@@ -82,3 +83,28 @@ val purge_latency : t -> Histogram.t
 
 (** Page-walk start-to-finish latency, in cycles. *)
 val walk_latency : t -> Histogram.t
+
+(** {2 Occupancy probes} — instantaneous structure occupancy, sampled by
+    the machine once per cycle when occupancy tracking is on. *)
+
+val rob_occupancy : t -> int
+val iq_occupancy : t -> int  (** all issue queues summed *)
+
+val lq_occupancy : t -> int
+val sq_occupancy : t -> int
+val sb_occupancy : t -> int
+
+(** [last_cycle_cause t] — the {!Cpistack.categories} index the last tick
+    was attributed to (feeds per-stall-cause quiet-cycle accounting). *)
+val last_cycle_cause : t -> int
+
+(** [structural_signature t] folds the core's structure state — fetch
+    queue, ROB, issue/load/store queues, store buffer, pending events,
+    page walker, purge machinery — into a {!Statesig} hash.  Predictors,
+    TLB contents, and renaming bookkeeping are excluded: they only
+    change in cycles that also move an included structure. *)
+val structural_signature : t -> int
+
+(** [dump_state t buf] appends a labelled rendering of the same state
+    [structural_signature] folds (the quiet-cycle oracle). *)
+val dump_state : t -> Buffer.t -> unit

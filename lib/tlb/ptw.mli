@@ -54,3 +54,13 @@ val pte_line : t -> level:int -> vpage:int -> int
 (** Ids issued by the walker are tagged with this bit to avoid colliding
     with core load/store ids. *)
 val id_tag : int
+
+(** [structural_signature t] folds the walker's in-flight walk slots into
+    a {!Statesig} hash (quiet-cycle detector); the translation cache and
+    latency histogram are excluded since they only change when a walk
+    also progresses. *)
+val structural_signature : t -> int
+
+(** [dump_state t buf] appends a labelled rendering of the same state
+    [structural_signature] folds (the quiet-cycle oracle). *)
+val dump_state : t -> Buffer.t -> unit

@@ -1,0 +1,19 @@
+(* Structural-state hashing for the quiet-cycle detector.
+
+   Every simulated component folds its mutable "structure" state (queue
+   contents, MSHR phases, cursor positions, pending-event times) through
+   [mix] to produce a cheap per-cycle signature; two consecutive cycles
+   with equal machine signatures advanced nothing but the clock and are
+   therefore fast-forwardable.  The mixer is the 64-bit boost-style
+   combine: order-dependent (folding [a; b] differs from [b; a]) and
+   deterministic across runs and domains. *)
+
+let empty = 0x2545F4914F6CDD1D
+
+(* 61-bit truncation of the 64-bit golden-ratio constant (OCaml ints are
+   63-bit). *)
+let mix h v = h lxor (v + 0x1E3779B97F4A7C15 + (h lsl 6) + (h lsr 2))
+
+let mix_bool h b = mix h (if b then 1 else 0)
+
+let mix_list h f xs = List.fold_left (fun h x -> mix h (f x)) (mix h (List.length xs)) xs

@@ -1,0 +1,23 @@
+(** Structural-state hashing for the quiet-cycle detector.
+
+    Components fold the state that can change from one cycle to the next
+    (queues, MSHRs, state-machine phases, scheduled-event times) into an
+    int signature; the machine combines component signatures once per
+    cycle.  Equal signatures across consecutive cycles classify the
+    cycle as {e quiet}: nothing but the clock advanced, so an
+    event-driven core could have skipped it.
+
+    The fold is order-dependent and deterministic (no randomized hashing),
+    so signatures are comparable across runs and across domains. *)
+
+(** Seed for a fresh fold. *)
+val empty : int
+
+(** [mix h v] folds [v] into accumulator [h]. *)
+val mix : int -> int -> int
+
+val mix_bool : int -> bool -> int
+
+(** [mix_list h f xs] folds the length of [xs] and then [f x] for every
+    element, in list order. *)
+val mix_list : int -> ('a -> int) -> 'a list -> int

@@ -629,6 +629,57 @@ let test_cpi_stack_sums_to_cycles () =
     [ Config.Base; Config.Flush; Config.Part; Config.Miss; Config.Arb;
       Config.Fpma ]
 
+(* The quiet-cycle detector compares one Statesig hash per cycle; the
+   oracle byte-compares the full labelled structure dump between
+   consecutive cycles.  Over random (seed, bench, variant) runs the two
+   must agree on every cycle — a disagreement means the signature folds
+   a field the dump misses (false quiet) or vice versa (missed quiet). *)
+let prop_quiet_detector_matches_oracle =
+  QCheck.Test.make
+    ~name:"quiet-cycle detector agrees with dump_state oracle" ~count:12
+    QCheck.(pair (int_range 0 10_000) (int_range 0 7))
+    (fun (seed, pick) ->
+      let bench =
+        List.nth
+          [ Mi6_workload.Spec.Gcc; Mi6_workload.Spec.Mcf;
+            Mi6_workload.Spec.Libquantum; Mi6_workload.Spec.Hmmer ]
+          (pick land 3)
+      in
+      let variant = if pick land 4 = 0 then Config.Base else Config.Fpma in
+      let occupancy = Mi6_obs.Occupancy.create () in
+      let stream =
+        Tmachine.spec_stream ~seed ~core:0 ~bench ~limit:300 ()
+      in
+      let m =
+        Tmachine.create ~occupancy
+          (Config.timing ~cores:1 variant)
+          ~streams:[| stream |]
+          ~stats:(Mi6_util.Stats.create ())
+      in
+      let ok = ref true in
+      let prev_dump = ref None in
+      let prev_quiet = ref (Mi6_obs.Occupancy.quiet_cycles occupancy) in
+      let budget = ref 30_000 in
+      while !ok && (not (Tmachine.finished m)) && !budget > 0 do
+        decr budget;
+        Tmachine.tick m;
+        let dump = Tmachine.dump_state m in
+        let quiet = Mi6_obs.Occupancy.quiet_cycles occupancy in
+        let detector_quiet = quiet > !prev_quiet in
+        let oracle_quiet =
+          match !prev_dump with Some d -> String.equal d dump | None -> false
+        in
+        if detector_quiet <> oracle_quiet then ok := false;
+        prev_dump := Some dump;
+        prev_quiet := quiet
+      done;
+      (* The run must also have exercised both verdicts, or the property
+         would pass vacuously on a degenerate machine. *)
+      !ok
+      && Mi6_obs.Occupancy.quiet_cycles occupancy > 0
+      && Mi6_obs.Occupancy.quiet_cycles occupancy
+         < Mi6_obs.Occupancy.cycles occupancy)
+
 let test_concurrent_enclaves_on_two_cores () =
   let _mem, fsims, monitor = make_machine ~cores:2 () in
   let mk regions =
@@ -809,7 +860,8 @@ let () =
             test_multi_slower_than_solo;
           Alcotest.test_case "concurrent enclaves" `Quick
             test_concurrent_enclaves_on_two_cores;
-        ] );
+        ]
+        @ qsuite [ prop_quiet_detector_matches_oracle ] );
       ( "ecall_abi",
         [
           Alcotest.test_case "full lifecycle via ecall" `Quick

@@ -439,7 +439,7 @@ let test_audit_length_mismatch () =
 (* ------------------------------------------------------------------ *)
 
 let sample_record ?(run_id = "0001-abc") ?(variant = "BASE") ?(bench = "gcc")
-    ?(cycles = 1000) ?(ipc = 0.5) () =
+    ?(cycles = 1000) ?(ipc = 0.5) ?host () =
   {
     Perfdb.run_id;
     commit = "abc";
@@ -450,6 +450,7 @@ let sample_record ?(run_id = "0001-abc") ?(variant = "BASE") ?(bench = "gcc")
     ipc;
     cpi = [ ("base", 400); ("llc_dram", 600) ];
     quantiles = [ ("core.0.load_latency", (3, 40, 130)) ];
+    host;
   }
 
 let test_perfdb_json_roundtrip () =
@@ -524,6 +525,273 @@ let test_perfdb_compare_runs () =
        ~old_run ~new_run:bad_run ()
     = [])
 
+let test_perfdb_host_roundtrip () =
+  let host =
+    { Perfdb.wall_s = 1.5; kips = 800.0; phases = [ ("fetch", 12.5) ] }
+  in
+  let r = sample_record ~host () in
+  (match
+     Perfdb.record_of_json
+       (Json.of_string (Json.to_string (Perfdb.record_to_json r)))
+   with
+  | Ok r' -> check_bool "host roundtrip" true (r = r')
+  | Error msg -> Alcotest.fail msg);
+  (* A hostless record omits the field entirely and reparses as None:
+     pre-host histories stay loadable (the schema is append-only). *)
+  let bare = sample_record () in
+  let json = Json.to_string (Perfdb.record_to_json bare) in
+  check_bool "no host field serialized" false
+    (Json.member "host" (Json.of_string json) <> None);
+  match Perfdb.record_of_json (Json.of_string json) with
+  | Ok r' -> check_bool "host is None" true (r'.Perfdb.host = None)
+  | Error msg -> Alcotest.fail msg
+
+let test_perfdb_kips_gate () =
+  let host kips = { Perfdb.wall_s = 1.0; kips; phases = [] } in
+  let old_run = [ sample_record ~host:(host 1000.0) () ] in
+  (* 60% host-speed drop crosses the (generous) 50% default. *)
+  let slow =
+    [ sample_record ~run_id:"0002-abc" ~host:(host 400.0) () ]
+  in
+  (match Perfdb.compare_runs ~old_run ~new_run:slow () with
+  | [ r ] ->
+    check_str "kips metric" "kips" r.Perfdb.r_metric;
+    check_bool "delta is the drop" true (r.Perfdb.r_delta_pct > 50.0)
+  | regs -> Alcotest.failf "expected 1 kips regression, got %d"
+              (List.length regs));
+  (* 40% stays under the default threshold; a missing host section on
+     either side disables the gate rather than firing it. *)
+  check_bool "40% drop passes" true
+    (Perfdb.compare_runs ~old_run
+       ~new_run:[ sample_record ~run_id:"0002-abc" ~host:(host 600.0) () ]
+       ()
+    = []);
+  check_bool "hostless new run passes" true
+    (Perfdb.compare_runs ~old_run
+       ~new_run:[ sample_record ~run_id:"0002-abc" () ]
+       ()
+    = [])
+
+(* ------------------------------------------------------------------ *)
+(* Trace drop-kind accounting                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_drop_kinds () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 4 do
+    Trace.emit t ~now:i (Trace.Arb_grant { core = 0; kind = "creq" })
+  done;
+  check_int "nothing dropped yet" 0 (Trace.dropped t);
+  check_bool "no breakdown yet" true (Trace.dropped_by_kind t = []);
+  (* Three more events overwrite the three oldest arb_grants: the drop is
+     charged to the kind overwritten, not the kind arriving. *)
+  for i = 5 to 7 do
+    Trace.emit t ~now:i (Trace.Mshr_alloc { core = 0; idx = 0; line = i })
+  done;
+  check_int "three dropped" 3 (Trace.dropped t);
+  check_bool "all charged to arb_grant" true
+    (Trace.dropped_by_kind t = [ ("arb_grant", 3) ]);
+  (match Trace.dominant_dropped t with
+  | Some ("arb_grant", 3) -> ()
+  | _ -> Alcotest.fail "dominant_dropped should be arb_grant x3");
+  (* Overwrite the remaining arb_grant and two mshr_allocs: mshr_alloc
+     ties nothing — arb_grant 4 still dominates. *)
+  for i = 8 to 10 do
+    Trace.emit t ~now:i (Trace.Uq_send { core = 1; line = i })
+  done;
+  check_int "six dropped" 6 (Trace.dropped t);
+  check_bool "breakdown sorted by count" true
+    (Trace.dropped_by_kind t = [ ("arb_grant", 4); ("mshr_alloc", 2) ]);
+  (* The sum of the breakdown always equals the total drop counter. *)
+  check_int "breakdown conserves total" (Trace.dropped t)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 (Trace.dropped_by_kind t));
+  Trace.reset t;
+  check_bool "reset clears breakdown" true (Trace.dropped_by_kind t = [])
+
+(* ------------------------------------------------------------------ *)
+(* Selfprof                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_selfprof_phases_sum_to_wall () =
+  let sp = Selfprof.create () in
+  check_bool "enabled" true (Selfprof.enabled sp);
+  Selfprof.run_begin sp;
+  (* Charge some real work to two phases; everything else lands in
+     harness. *)
+  let spin () =
+    let x = ref 0 in
+    for i = 1 to 200_000 do x := !x + i done;
+    ignore !x
+  in
+  let p = Selfprof.switch sp Selfprof.ph_fetch in
+  spin ();
+  ignore (Selfprof.switch sp Selfprof.ph_llc);
+  spin ();
+  Selfprof.restore sp p;
+  spin ();
+  Selfprof.run_end sp ~cycles:1000 ~instrs:500;
+  let wall = Selfprof.wall_seconds sp in
+  check_bool "wall positive" true (wall > 0.0);
+  check_int "cycles recorded" 1000 (Selfprof.cycles sp);
+  let report = Selfprof.report sp in
+  check_int "one row per phase" Selfprof.n_phases (List.length report);
+  (* The attribution invariant: between run_begin and run_end every
+     instant belongs to exactly one phase, so phase seconds sum to the
+     wall time (up to clock rounding). *)
+  let sum = List.fold_left (fun acc (_, s, _, _) -> acc +. s) 0.0 report in
+  check_bool "phases sum to wall" true (abs_float (sum -. wall) < 0.05 *. wall +. 1e-6);
+  check_bool "fetch charged" true (Selfprof.phase_seconds sp Selfprof.ph_fetch > 0.0);
+  check_bool "llc charged" true (Selfprof.phase_seconds sp Selfprof.ph_llc > 0.0);
+  check_bool "harness charged" true
+    (Selfprof.phase_seconds sp Selfprof.ph_harness > 0.0);
+  check_bool "kips positive" true (Selfprof.overall_kips sp > 0.0);
+  check_bool "series has the run point" true (Selfprof.kips_series sp <> [])
+
+let test_selfprof_null_disabled () =
+  let sp = Selfprof.null in
+  check_bool "disabled" false (Selfprof.enabled sp);
+  Selfprof.run_begin sp;
+  let p = Selfprof.switch sp Selfprof.ph_dram in
+  Selfprof.restore sp p;
+  Selfprof.sample sp ~cycles:10 ~instrs:5;
+  Selfprof.run_end sp ~cycles:10 ~instrs:5;
+  Alcotest.(check (float 0.0)) "no wall" 0.0 (Selfprof.wall_seconds sp);
+  check_int "no cycles" 0 (Selfprof.cycles sp)
+
+(* ------------------------------------------------------------------ *)
+(* Occupancy / quiet-cycle detector                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_occupancy_quiet_detection () =
+  let o = Occupancy.create () in
+  (* First cycle can never be quiet (no previous signature); repeats of
+     the same signature are quiet; any change is not. *)
+  Occupancy.note_cycle o ~signature:42 ~cause:0;
+  Occupancy.note_cycle o ~signature:42 ~cause:3;
+  Occupancy.note_cycle o ~signature:42 ~cause:3;
+  Occupancy.note_cycle o ~signature:7 ~cause:0;
+  Occupancy.note_cycle o ~signature:7 ~cause:5;
+  check_int "cycles" 5 (Occupancy.cycles o);
+  check_int "quiet" 3 (Occupancy.quiet_cycles o);
+  Alcotest.(check (float 1e-9)) "fraction" 0.6 (Occupancy.quiet_fraction o);
+  (* Per-cause attribution: base saw 2 cycles 0 quiet, llc_dram 2/2,
+     purge 1/1. *)
+  check_bool "by_cause" true
+    (Occupancy.by_cause o
+    = [ ("base", 0, 2); ("llc_dram", 2, 2); ("purge", 1, 1) ]);
+  (* An out-of-range cause lands in the catch-all last category. *)
+  Occupancy.note_cycle o ~signature:7 ~cause:99;
+  check_bool "overflow cause is other" true
+    (List.mem_assoc "other"
+       (List.map (fun (c, q, _) -> (c, q)) (Occupancy.by_cause o)))
+
+let test_occupancy_sample_and_register () =
+  let o = Occupancy.create () in
+  for i = 1 to 10 do
+    Occupancy.sample o ~rob:i ~iq:2 ~lq:1 ~sq:0 ~sb:1 ~mshr:4
+  done;
+  Occupancy.note_cycle o ~signature:1 ~cause:0;
+  let reg = Metrics.create () in
+  Occupancy.register o reg;
+  let hists = Metrics.histograms reg in
+  check_bool "rob histogram registered" true
+    (List.mem_assoc "occupancy.rob" hists);
+  check_int "rob samples" 10
+    (Histogram.count (List.assoc "occupancy.rob" hists));
+  check_int "quiet gauge" 1
+    (List.assoc "quiet.cycles" (Metrics.counters reg));
+  (* The disabled singleton samples and registers nothing. *)
+  let reg' = Metrics.create () in
+  Occupancy.sample Occupancy.null ~rob:9 ~iq:9 ~lq:9 ~sq:9 ~sb:9 ~mshr:9;
+  Occupancy.register Occupancy.null reg';
+  check_bool "null registers nothing" true (Metrics.counters reg' = [])
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "mi6_telemetry" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let drive_stream ?deterministic ~every ~upto path =
+  let t = Telemetry.create ?deterministic ~every ~path () in
+  for cycle = 1 to upto do
+    Telemetry.maybe_emit t ~cycle ~instrs:(cycle / 2)
+      ~counters:(fun () -> [ ("core.cycles", cycle); ("zero", 0) ])
+      ~occupancy:Occupancy.null ~selfprof:Selfprof.null
+  done;
+  let n = Telemetry.snapshots t in
+  Telemetry.close t;
+  n
+
+let test_telemetry_stream_validates () =
+  with_temp_file @@ fun path ->
+  let n = drive_stream ~every:10 ~upto:35 path in
+  check_int "three snapshots" 3 n;
+  (match Telemetry.validate_file ~path with
+  | Ok 3 -> ()
+  | Ok n -> Alcotest.failf "validated %d snapshots, expected 3" n
+  | Error msg -> Alcotest.fail msg);
+  (* Appending garbage makes validation fail with the line number. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{not json\n";
+  close_out oc;
+  match Telemetry.validate_file ~path with
+  | Error msg -> check_bool "names line 4" true
+                   (String.length msg >= 6 && String.sub msg 0 6 = "line 4")
+  | Ok _ -> Alcotest.fail "garbage line must not validate"
+
+let test_telemetry_deterministic_streams_identical () =
+  with_temp_file @@ fun p1 ->
+  with_temp_file @@ fun p2 ->
+  ignore (drive_stream ~deterministic:true ~every:7 ~upto:50 p1);
+  ignore (drive_stream ~deterministic:true ~every:7 ~upto:50 p2);
+  let slurp p =
+    let ic = open_in p in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let s1 = slurp p1 in
+  check_bool "byte-identical reruns" true (s1 = slurp p2);
+  (* Deterministic mode must omit every host-derived field. *)
+  check_bool "no host section" false
+    (let sub = "\"host\"" in
+     let rec find i =
+       i + String.length sub <= String.length s1
+       && (String.sub s1 i (String.length sub) = sub || find (i + 1))
+     in
+     find 0)
+
+let test_telemetry_counter_deltas () =
+  with_temp_file @@ fun path ->
+  let t = Telemetry.create ~deterministic:true ~every:10 ~path () in
+  let counters = ref [ ("a", 5) ] in
+  Telemetry.maybe_emit t ~cycle:10 ~instrs:1
+    ~counters:(fun () -> !counters)
+    ~occupancy:Occupancy.null ~selfprof:Selfprof.null;
+  counters := [ ("a", 12); ("b", 3) ];
+  Telemetry.maybe_emit t ~cycle:20 ~instrs:2
+    ~counters:(fun () -> !counters)
+    ~occupancy:Occupancy.null ~selfprof:Selfprof.null;
+  Telemetry.close t;
+  let ic = open_in path in
+  let l1 = input_line ic in
+  let l2 = input_line ic in
+  close_in ic;
+  let delta line name =
+    match Json.member "counters" (Json.of_string line) with
+    | Some c -> Json.member name c
+    | None -> None
+  in
+  (* First snapshot carries absolute values, the second the increments
+     since; unchanged/zero counters are elided. *)
+  check_bool "first a=5" true (delta l1 "a" = Some (Json.Int 5));
+  check_bool "second a=+7" true (delta l2 "a" = Some (Json.Int 7));
+  check_bool "second b=+3" true (delta l2 "b" = Some (Json.Int 3))
+
 let () =
   Alcotest.run "mi6_obs"
     [
@@ -554,6 +822,31 @@ let () =
             test_trace_event_labels_stable;
           Alcotest.test_case "event core/label stable for every constructor"
             `Quick test_trace_event_api_stable;
+          Alcotest.test_case "per-kind drop breakdown" `Quick
+            test_trace_drop_kinds;
+        ] );
+      ( "selfprof",
+        [
+          Alcotest.test_case "phases sum to wall" `Quick
+            test_selfprof_phases_sum_to_wall;
+          Alcotest.test_case "null profiler disabled" `Quick
+            test_selfprof_null_disabled;
+        ] );
+      ( "occupancy",
+        [
+          Alcotest.test_case "quiet-cycle detection" `Quick
+            test_occupancy_quiet_detection;
+          Alcotest.test_case "sampling and registration" `Quick
+            test_occupancy_sample_and_register;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "stream validates" `Quick
+            test_telemetry_stream_validates;
+          Alcotest.test_case "deterministic streams identical" `Quick
+            test_telemetry_deterministic_streams_identical;
+          Alcotest.test_case "counter deltas" `Quick
+            test_telemetry_counter_deltas;
         ] );
       ( "cpistack",
         [
@@ -577,6 +870,10 @@ let () =
           Alcotest.test_case "append and load" `Quick test_perfdb_append_load;
           Alcotest.test_case "compare_runs thresholds" `Quick
             test_perfdb_compare_runs;
+          Alcotest.test_case "host section roundtrip" `Quick
+            test_perfdb_host_roundtrip;
+          Alcotest.test_case "kips regression gate" `Quick
+            test_perfdb_kips_gate;
         ] );
       ( "json",
         [
