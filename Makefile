@@ -1,6 +1,6 @@
 # Convenience wrapper around dune; `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench-smoke audit-smoke sweep-smoke telemetry-smoke top-smoke lint perf-compare ci clean
+.PHONY: all build test bench-smoke audit-smoke sweep-smoke telemetry-smoke top-smoke bisect-smoke lint perf-compare ci clean
 
 all: build
 
@@ -60,6 +60,31 @@ top-smoke:
 		--measure 20000 --telemetry telemetry.jsonl --telemetry-every 1000
 	dune exec bin/mi6_sim.exe -- top --once telemetry.jsonl
 
+# Time-travel bisection gate: bisect the known BASE leak (spectre-v1 on
+# BASE vs the full MI6 variant; exit 1 = divergence found, the expected
+# outcome), validate the slice report against the mi6.bisect/1 schema,
+# and cross-check that the diverging component hosts the channel the
+# leakage auditor blames (audit.json from audit-smoke).  The secret-pair
+# run on the same witness must stay clean: spectre-v1 leaks only
+# transiently, never through committed state.
+bisect-smoke:
+	dune exec bin/mi6_sim.exe -- audit --json audit.json > /dev/null
+	sh -c 'dune exec bin/mi6_sim.exe -- bisect --witness spectre-v1 \
+		--variant-a base --variant-b f+p+m+a --json bisect.json \
+		--history BISECT_history.jsonl; test $$? -eq 1'
+	dune exec bench/json_check.exe -- --bisect bisect.json \
+		--agrees-audit audit.json
+	dune exec bench/json_check.exe -- --history BISECT_history.jsonl
+	dune exec bin/mi6_sim.exe -- bisect --witness spectre-v1 \
+		--secret-a 0 --secret-b 1 --json bisect-secret.json
+	dune exec bench/json_check.exe -- --bisect bisect-secret.json
+	# Identical rerun must not regress bisection speed (flight-recorder
+	# overhead gate: compare.exe's kips threshold over the host section).
+	sh -c 'dune exec bin/mi6_sim.exe -- bisect --witness spectre-v1 \
+		--variant-a base --variant-b f+p+m+a \
+		--history BISECT_history.jsonl > /dev/null; test $$? -eq 1'
+	dune exec bench/compare.exe -- --history BISECT_history.jsonl
+
 # Diff the two most recent bench runs in BENCH_history.jsonl; exits
 # nonzero on a cycle or IPC regression past the default 5% thresholds.
 perf-compare:
@@ -86,10 +111,11 @@ lint:
 		fi; \
 	done
 
-ci: build test bench-smoke audit-smoke sweep-smoke telemetry-smoke top-smoke lint
+ci: build test bench-smoke audit-smoke sweep-smoke telemetry-smoke top-smoke bisect-smoke lint
 
 clean:
 	dune clean
 	rm -f BENCH_run.json audit.json sweep-serial.json sweep-parallel.json \
 		lint-mi6.json lint-base.json lint-witnesses.json \
+		bisect.json bisect-secret.json BISECT_history.jsonl \
 		telemetry.jsonl tel-serial\#* tel-parallel\#*

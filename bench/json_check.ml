@@ -2,7 +2,8 @@
 
    usage: json_check [--require KEY]... [--chrome-trace FILE]...
                      [--history FILE]... [--telemetry FILE]...
-                     [--min-snapshots N] [FILE]...
+                     [--min-snapshots N] [--bisect FILE]...
+                     [--agrees-audit FILE] [FILE]...
 
    Plain FILE arguments must parse as JSON (and contain every --require
    KEY at the top level).  --chrome-trace files must additionally follow
@@ -13,6 +14,10 @@
    Telemetry JSONL streams: every line must validate against the
    snapshot schema, with dense sequence numbers and strictly increasing
    cycles; --min-snapshots additionally bounds the count from below.
+   --bisect files must follow the mi6.bisect/1 slice-report schema;
+   --agrees-audit additionally cross-checks each diverged bisect report
+   against an audit JSON: the auditor's first leaking baseline channel
+   must be among the channels the bisector's diverging component hosts.
    Exit 0 iff everything passes. *)
 
 open Mi6_obs
@@ -80,6 +85,94 @@ let check_history file =
     problems := [ "no records (empty history)" ];
   List.rev !problems
 
+(* mi6.bisect/1 slice-report schema, plus the optional channel-agreement
+   cross-check against an audit report. *)
+let check_bisect ?audit json =
+  let problems = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let str_field name =
+    match Json.member name json with
+    | Some (Json.String s) -> Some s
+    | Some _ ->
+      bad "%S is not a string" name;
+      None
+    | None ->
+      bad "missing %S" name;
+      None
+  in
+  let int_field ?(where = json) name =
+    match Json.member name where with
+    | Some (Json.Int i) when i >= 0 -> Some i
+    | Some _ -> bad "%S is not a non-negative int" name; None
+    | None -> bad "missing %S" name; None
+  in
+  let string_list name =
+    match Json.member name json with
+    | Some (Json.List l)
+      when List.for_all (function Json.String _ -> true | _ -> false) l ->
+      Some (List.map (function Json.String s -> s | _ -> "") l)
+    | Some _ -> bad "%S is not a list of strings" name; None
+    | None -> bad "missing %S" name; None
+  in
+  (match str_field "schema" with
+  | Some "mi6.bisect/1" | None -> ()
+  | Some other -> bad "schema is %S, want \"mi6.bisect/1\"" other);
+  ignore (str_field "label_a");
+  ignore (str_field "label_b");
+  (match Json.member "checkpoints" json with
+  | Some (Json.Obj _ as cks) ->
+    List.iter
+      (fun f -> ignore (int_field ~where:cks f))
+      [ "interval"; "taken"; "retained"; "mem_high_water_words"; "probes" ]
+  | Some _ -> bad "\"checkpoints\" is not an object"
+  | None -> bad "missing \"checkpoints\"");
+  (match Json.member "diverged" json with
+  | Some (Json.Bool true) ->
+    ignore (int_field "cycle");
+    ignore (int_field "checkpoint_cycle");
+    (match str_field "oracle" with
+    | Some ("signature" | "activity") | None -> ()
+    | Some other -> bad "oracle is %S, want signature|activity" other);
+    let component = str_field "component" in
+    (match (string_list "components", component) with
+    | Some cs, Some c when not (List.mem c cs) ->
+      bad "component %S missing from \"components\"" c
+    | _ -> ());
+    let channels = string_list "audit_channels" in
+    List.iter
+      (fun name -> ignore (string_list name))
+      [ "uops_a"; "uops_b"; "trace_a"; "trace_b" ];
+    (match Json.member "field_diff" json with
+    | Some (Json.List diffs) ->
+      List.iteri
+        (fun i d ->
+          List.iter
+            (fun f ->
+              match Json.member f d with
+              | Some (Json.String _) -> ()
+              | _ -> bad "field_diff[%d]: missing string %S" i f)
+            [ "component"; "a"; "b"; "first_diff" ])
+        diffs
+    | Some _ -> bad "\"field_diff\" is not a list"
+    | None -> bad "missing \"field_diff\"");
+    (match (audit, channels) with
+    | Some audit_json, Some channels -> (
+      match
+        Option.bind (Json.member "verdict" audit_json) (Json.member "baseline_channel")
+      with
+      | Some (Json.String ch) ->
+        if not (List.mem ch channels) then
+          bad
+            "audit's leaking channel %S is not hosted by the diverging \
+             component (channels: %s)"
+            ch (String.concat ", " channels)
+      | _ -> bad "audit report lacks verdict.baseline_channel")
+    | _ -> ())
+  | Some (Json.Bool false) -> ignore (int_field "cycles_run")
+  | Some _ -> bad "\"diverged\" is not a bool"
+  | None -> bad "missing \"diverged\"");
+  List.rev !problems
+
 let check_telemetry ~min_snapshots file =
   match Telemetry.validate_file ~path:file with
   | Ok n when n < min_snapshots ->
@@ -92,6 +185,7 @@ let () =
   let require = ref [] in
   let plain = ref [] and chrome = ref [] and history = ref [] in
   let telemetry = ref [] and min_snapshots = ref 1 in
+  let bisect = ref [] and agrees_audit = ref None in
   let rec parse = function
     | "--require" :: k :: rest ->
       require := k :: !require;
@@ -104,6 +198,12 @@ let () =
       parse rest
     | "--telemetry" :: f :: rest ->
       telemetry := f :: !telemetry;
+      parse rest
+    | "--bisect" :: f :: rest ->
+      bisect := f :: !bisect;
+      parse rest
+    | "--agrees-audit" :: f :: rest ->
+      agrees_audit := Some f;
       parse rest
     | "--min-snapshots" :: n :: rest -> (
       match int_of_string_opt n with
@@ -122,12 +222,15 @@ let () =
   let plain = List.rev !plain
   and chrome = List.rev !chrome
   and history = List.rev !history
-  and telemetry = List.rev !telemetry in
-  if plain = [] && chrome = [] && history = [] && telemetry = [] then begin
+  and telemetry = List.rev !telemetry
+  and bisect = List.rev !bisect in
+  if plain = [] && chrome = [] && history = [] && telemetry = [] && bisect = []
+  then begin
     prerr_endline
       "usage: json_check [--require KEY]... [--chrome-trace FILE]...\n\
       \                  [--history FILE]... [--telemetry FILE]...\n\
-      \                  [--min-snapshots N] [FILE]...";
+      \                  [--min-snapshots N] [--bisect FILE]...\n\
+      \                  [--agrees-audit FILE] [FILE]...";
     exit 2
   end;
   let fail = ref false in
@@ -168,4 +271,18 @@ let () =
       | exception Sys_error msg -> report file [ msg ]
       | problems -> report file problems)
     telemetry;
+  let audit =
+    match !agrees_audit with
+    | None -> None
+    | Some file -> (
+      match Json.of_string (read_file file) with
+      | exception Sys_error msg ->
+        report file [ msg ];
+        None
+      | exception Failure msg ->
+        report file [ "invalid JSON: " ^ msg ];
+        None
+      | json -> Some json)
+  in
+  List.iter (fun file -> with_json file (check_bisect ?audit)) bisect;
   exit (if !fail then 1 else 0)

@@ -12,12 +12,19 @@
      lint    static secret-taint / constant-time analysis of programs and
              hardware-invariant linting of machine configurations
 
+     bisect  lockstep two configurations from shared flight-recorder
+             checkpoints, binary-search the first divergent cycle, and
+             print a causal slice report
+
    Exit codes are uniform across subcommands: 0 = clean, 1 = findings
-   (lint violations, leakage divergence, attribution residual), 2 =
-   usage or I/O error. *)
+   (lint violations, leakage divergence, attribution residual, a
+   bisection divergence), 2 = usage or I/O error. *)
 
 open Cmdliner
 open Mi6_core
+module Taint = Mi6_analysis.Taint
+module Hwlint = Mi6_analysis.Lint
+module Witness = Mi6_analysis.Witness
 
 (* ------------------------------------------------------------------ *)
 (* Converters                                                          *)
@@ -517,11 +524,23 @@ let audit_cmd =
       with_pool ~jobs (fun pool ->
           Mi6_exec.Pool.run_list pool grid Noninterference.run_audit_cell)
     in
+    (* Drops accumulate into the report too: a consumer of the JSON must
+       be able to see that the audit ran on a lossy trace without
+       scraping stderr. *)
+    let total_dropped = ref 0 and dominant_drop = ref None in
     let capture_of =
       let tbl = List.combine grid captures in
       fun cell name ->
         let events, drops, dominant = List.assq cell tbl in
         if drops > 0 then begin
+          total_dropped := !total_dropped + drops;
+          (match dominant with
+          | Some (_, n) as d
+            when (match !dominant_drop with
+                 | Some (_, best) -> n > best
+                 | None -> true) ->
+            dominant_drop := d
+          | _ -> ());
           let mostly =
             match dominant with
             | Some (kind, n) -> Printf.sprintf " (mostly %s: %d)" kind n
@@ -568,6 +587,7 @@ let audit_cmd =
     let baseline_channel =
       List.find_map Audit.first_leaking_channel baseline
     in
+    let baseline_cycle = List.find_map Audit.first_divergence_cycle baseline in
     Printf.printf "verdict:\n";
     Printf.printf "  MI6 LLC      %s\n"
       (if mi6_clean then
@@ -577,8 +597,12 @@ let audit_cmd =
        else "DIVERGENCE DETECTED — non-interference violated");
     (match baseline_channel with
     | Some ch ->
-      Printf.printf "  baseline LLC leaks, first through the %s channel\n"
+      Printf.printf "  baseline LLC leaks, first through the %s channel%s\n"
         (Audit.channel_name ch)
+        (match baseline_cycle with
+        | Some c ->
+          Printf.sprintf " (first divergence at victim cycle %d)" c
+        | None -> "")
     | None ->
       Printf.printf
         "  baseline LLC showed no divergence (auditor lost its witness)\n");
@@ -588,6 +612,15 @@ let audit_cmd =
         Json.Obj
           [
             ("experiment", Json.String "victim-timeline leakage audit");
+            ( "trace",
+              Json.Obj
+                [
+                  ("dropped", Json.Int !total_dropped);
+                  ( "dominant_dropped",
+                    match !dominant_drop with
+                    | Some (kind, _) -> Json.String kind
+                    | None -> Json.Null );
+                ] );
             ( "attackers",
               Json.List
                 (List.map
@@ -616,6 +649,10 @@ let audit_cmd =
                   ( "baseline_channel",
                     match baseline_channel with
                     | Some ch -> Json.String (Audit.channel_name ch)
+                    | None -> Json.Null );
+                  ( "baseline_first_divergence_cycle",
+                    match baseline_cycle with
+                    | Some c -> Json.Int c
                     | None -> Json.Null );
                 ] );
           ]
@@ -698,6 +735,7 @@ let profile_cmd =
     let folded = Buffer.create 256 in
     let all_stacks = ref [] in
     let failed = ref false in
+    let total_dropped = ref 0 and dominant_drop = ref None in
     List.iter
       (fun bench ->
         let bname = Mi6_workload.Spec.name bench in
@@ -731,6 +769,16 @@ let profile_cmd =
                     None
                     (Metrics.counters r.Tmachine.metrics)
                 in
+                (* Mirror the warning into the JSON export (trace.dropped
+                   / dominant_dropped) so CI can see the loss. *)
+                total_dropped := !total_dropped + d;
+                (match dominant with
+                | Some (_, n) as dom
+                  when (match !dominant_drop with
+                       | Some (_, best) -> n > best
+                       | None -> true) ->
+                  dominant_drop := dom
+                | _ -> ());
                 Printf.eprintf "warning: trace ring dropped %d events%s\n%!" d
                   (match dominant with
                   | Some (kind, n) -> Printf.sprintf " (mostly %s: %d)" kind n
@@ -815,6 +863,15 @@ let profile_cmd =
           [
             ("warmup", Json.Int warmup);
             ("measure", Json.Int measure);
+            ( "trace",
+              Json.Obj
+                [
+                  ("dropped", Json.Int !total_dropped);
+                  ( "dominant_dropped",
+                    match !dominant_drop with
+                    | Some (kind, _) -> Json.String kind
+                    | None -> Json.Null );
+                ] );
             ( "profiles",
               Json.List
                 (List.rev_map
@@ -862,7 +919,8 @@ let top_cmd =
     Arg.(value & flag
          & info [ "once" ]
              ~doc:"Render the latest snapshot once and exit (CI-friendly; \
-                   exits 2 when the stream holds no snapshot yet).")
+                   exits 1 when any line fails snapshot validation, 2 when \
+                   the stream holds no snapshot yet).")
   in
   let interval =
     Arg.(value & opt float 1.0
@@ -875,23 +933,51 @@ let top_cmd =
     (* Whole-file re-read each frame: snapshots are append-only and a
        stream is at most a few thousand lines, so this stays trivially
        cheap and needs no tail-follow state. *)
+    (* Every line is validated against the snapshot schema on the way
+       through; a writer bug (torn line, wrong type) is counted and the
+       first offending file line remembered, so --once can gate CI. *)
+    let malformed = ref 0 and first_bad = ref None in
     let read_last () =
+      malformed := 0;
+      first_bad := None;
       if not (Sys.file_exists file) then None
       else begin
         let ic = open_in file in
-        let count = ref 0 and last = ref None in
+        let count = ref 0 and last = ref None and lineno = ref 0 in
         (try
            while true do
              let line = input_line ic in
+             incr lineno;
              if String.trim line <> "" then begin
-               incr count;
-               last := Some line
+               let bad msg =
+                 incr malformed;
+                 if !first_bad = None then first_bad := Some (!lineno, msg)
+               in
+               (match Json.of_string line with
+               | exception Failure msg -> bad ("invalid JSON: " ^ msg)
+               | j -> (
+                 match Telemetry.validate_snapshot j with
+                 | Ok () ->
+                   incr count;
+                   last := Some line
+                 | Error msg -> bad msg))
              end
            done
          with End_of_file -> ());
         close_in ic;
         Option.map (fun l -> (!count, l)) !last
       end
+    in
+    let report_malformed () =
+      match !first_bad with
+      | Some (lineno, msg) ->
+        Printf.eprintf
+          "mi6_sim top: %d malformed telemetry line%s in %s (first at line \
+           %d: %s)\n%!"
+          !malformed
+          (if !malformed = 1 then "" else "s")
+          file lineno msg
+      | None -> ()
     in
     let render n line =
       let j = Json.of_string line in
@@ -958,11 +1044,13 @@ let top_cmd =
     if once then (
       match read_last () with
       | None ->
+        report_malformed ();
         Printf.eprintf "mi6_sim top: no snapshot in %s yet\n%!" file;
-        2
+        if !malformed > 0 then 1 else 2
       | Some (n, line) ->
         render n line;
-        0)
+        report_malformed ();
+        if !malformed > 0 then 1 else 0)
     else begin
       (* Follow until interrupted. *)
       while true do
@@ -970,6 +1058,7 @@ let top_cmd =
         (match read_last () with
         | None -> Printf.printf "mi6_sim top — waiting for %s ...\n" file
         | Some (n, line) -> render n line);
+        if !malformed > 0 then report_malformed ();
         flush stdout;
         Unix.sleepf interval
       done;
@@ -982,6 +1071,235 @@ let top_cmd =
          "live table over a telemetry JSONL stream: cycles, instrs, kips, \
           structure occupancy, quiet-cycle fraction")
     Term.(const run $ file $ once $ interval)
+
+(* ------------------------------------------------------------------ *)
+(* bisect                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let bisect_cmd =
+  let witness_arg =
+    Arg.(value & opt (some string) None
+         & info [ "witness" ] ~docv:"NAME"
+             ~doc:"Bisect a built-in witness program (see $(b,mi6_sim lint \
+                   --witness)).  The default when no $(b,--bench) is given \
+                   is spectre-v1.")
+  in
+  let bench =
+    Arg.(value & opt (some bench_conv) None
+         & info [ "b"; "bench" ] ~docv:"BENCH"
+             ~doc:"Bisect a SPEC model stream instead of a witness.")
+  in
+  let uops =
+    Arg.(value & opt int 20_000
+         & info [ "uops" ] ~docv:"N"
+             ~doc:"Stream length in µops ($(b,--bench) mode).")
+  in
+  let variant_a =
+    Arg.(value & opt variant_conv Config.Base
+         & info [ "variant-a" ] ~docv:"VARIANT" ~doc:"Side-A variant.")
+  in
+  let variant_b =
+    Arg.(value & opt (some variant_conv) None
+         & info [ "variant-b" ] ~docv:"VARIANT"
+             ~doc:"Side-B variant (default F+P+M+A; ignored in secret-pair \
+                   mode, where both sides run $(b,--variant-a)).")
+  in
+  let secret_a =
+    Arg.(value & opt (some int) None
+         & info [ "secret-a" ] ~docv:"N"
+             ~doc:"Side-A secret input (witness mode; needs \
+                   $(b,--secret-b)).  Both sides then run the same variant \
+                   and differ only in the secret, so the exact \
+                   whole-machine signature oracle applies.")
+  in
+  let secret_b =
+    Arg.(value & opt (some int) None
+         & info [ "secret-b" ] ~docv:"N" ~doc:"Side-B secret input.")
+  in
+  let window =
+    Arg.(value & opt int 16
+         & info [ "window" ] ~docv:"T"
+             ~doc:"Trace events per side in the slice report.")
+  in
+  let interval =
+    Arg.(value & opt int 256
+         & info [ "interval" ] ~docv:"N"
+             ~doc:"Cycles between flight-recorder checkpoints.")
+  in
+  let ring =
+    Arg.(value & opt int 64
+         & info [ "ring" ] ~docv:"K"
+             ~doc:"Checkpoints retained per side (bounded memory).")
+  in
+  let max_cycles =
+    Arg.(value & opt int 4_000_000
+         & info [ "max-cycles" ] ~docv:"N" ~doc:"Lockstep scan budget.")
+  in
+  let json_file =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the slice report as JSON (schema mi6.bisect/1).")
+  in
+  let history_file =
+    Arg.(value & opt (some string) None
+         & info [ "history" ] ~docv:"FILE"
+             ~doc:"Append a Perfdb record with the bisection wall time and \
+                   checkpoint memory high-water to $(docv) (JSONL); \
+                   compare.exe then gates flight-recorder overhead \
+                   regressions.")
+  in
+  let run witness_name bench uops variant_a variant_b secret_a secret_b
+      window interval ring max_cycles json_file history_file =
+    guard_io @@ fun () ->
+    let open Mi6_obs in
+    let trace_a = Trace.create ~capacity:(1 lsl 16) ()
+    and trace_b = Trace.create ~capacity:(1 lsl 16) () in
+    let machine_of_uops ~trace ~variant uops =
+      let remaining = ref uops in
+      let stream () =
+        match !remaining with
+        | [] -> None
+        | u :: tl ->
+          remaining := tl;
+          Some u
+      in
+      Tmachine.create ~trace (Config.timing ~cores:1 variant)
+        ~streams:[| stream |] ~stats:(Mi6_util.Stats.create ())
+    in
+    let secret_pair = secret_a <> None || secret_b <> None in
+    if secret_pair && (secret_a = None || secret_b = None) then
+      failwith "--secret-a and --secret-b must be given together";
+    let vname = Config.variant_name in
+    let a, b, label_a, label_b =
+      match bench with
+      | Some bench ->
+        if secret_pair then
+          failwith
+            "--secret-a/--secret-b need a witness program (--bench streams \
+             carry no secret input)";
+        let vb = Option.value variant_b ~default:Config.Fpma in
+        let machine ~trace ~variant =
+          Tmachine.create ~trace (Config.timing ~cores:1 variant)
+            ~streams:[| Tmachine.spec_stream ~core:0 ~bench ~limit:uops () |]
+            ~stats:(Mi6_util.Stats.create ())
+        in
+        let bname = Mi6_workload.Spec.name bench in
+        ( machine ~trace:trace_a ~variant:variant_a,
+          machine ~trace:trace_b ~variant:vb,
+          Printf.sprintf "%s:%s" bname (vname variant_a),
+          Printf.sprintf "%s:%s" bname (vname vb) )
+      | None ->
+        let name = Option.value witness_name ~default:"spectre-v1" in
+        let w =
+          match Witness.find name with
+          | Some w -> w
+          | None ->
+            failwith
+              (Printf.sprintf "unknown witness %S (known: %s)" name
+                 (String.concat ", " Witness.names))
+        in
+        let uops_of secret =
+          let init_regs =
+            match (secret, w.Witness.secret_reg) with
+            | Some v, Some r -> [ (r, Int64.of_int v) ]
+            | Some _, None ->
+              failwith
+                (Printf.sprintf "witness %s takes no secret input" name)
+            | None, _ -> []
+          in
+          let run =
+            Difftest.run_func ~init_regs ~program:(Witness.program w)
+              ~data_base:0x8000 ~data_bytes:1024 ~max_steps:20_000 ()
+          in
+          Difftest.to_uops run ~func_code_base:w.Witness.base
+            ~func_data_base:0x8000
+        in
+        if secret_pair then begin
+          let sa = Option.get secret_a and sb = Option.get secret_b in
+          ( machine_of_uops ~trace:trace_a ~variant:variant_a
+              (uops_of (Some sa)),
+            machine_of_uops ~trace:trace_b ~variant:variant_a
+              (uops_of (Some sb)),
+            Printf.sprintf "%s:%s:s=%d" name (vname variant_a) sa,
+            Printf.sprintf "%s:%s:s=%d" name (vname variant_a) sb )
+        end
+        else begin
+          let vb = Option.value variant_b ~default:Config.Fpma in
+          let us = uops_of None in
+          ( machine_of_uops ~trace:trace_a ~variant:variant_a us,
+            machine_of_uops ~trace:trace_b ~variant:vb us,
+            Printf.sprintf "%s:%s" name (vname variant_a),
+            Printf.sprintf "%s:%s" name (vname vb) )
+        end
+    in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Bisect.run ~interval ~ring ~window ~max_cycles ~trace_a ~trace_b
+        ~label_a ~label_b a b
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Format.printf "%a" Bisect.pp_report r;
+    (match json_file with
+    | Some path ->
+      write_file path (Json.to_string (Bisect.report_to_json r));
+      Printf.printf "bisect report -> %s\n%!" path
+    | None -> ());
+    (match history_file with
+    | Some path ->
+      let commit = Perfdb.git_commit () in
+      let run_id = Perfdb.next_run_id (Perfdb.load ~path) ~commit in
+      let cycles =
+        match r.Bisect.r_outcome with
+        | Bisect.Clean { cycles_run } -> cycles_run
+        | Bisect.Diverged s -> s.Bisect.s_cycle
+      in
+      let stats = r.Bisect.r_stats in
+      let record =
+        {
+          Perfdb.run_id;
+          commit;
+          variant = "bisect";
+          bench = Printf.sprintf "%s-vs-%s" label_a label_b;
+          cycles;
+          instrs = stats.Bisect.cs_taken;
+          ipc = 0.0;
+          cpi = [];
+          quantiles = [];
+          (* kips here is lockstep scan speed (both machines + recorder),
+             so compare.exe's kips gate bounds flight-recorder overhead
+             regressions; checkpoint memory rides in the phase table. *)
+          host =
+            Some
+              {
+                Perfdb.wall_s = wall;
+                kips =
+                  (if wall <= 0.0 then 0.0
+                   else float_of_int cycles /. wall /. 1000.0);
+                phases =
+                  [
+                    ( "checkpoint_mem_words",
+                      float_of_int stats.Bisect.cs_mem_high_water_words );
+                    ("probes", float_of_int stats.Bisect.cs_probes);
+                  ];
+              };
+        }
+      in
+      Perfdb.append ~path [ record ];
+      Printf.printf "appended run %s -> %s\n%!" run_id path
+    | None -> ());
+    if Bisect.diverged r then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "bisect" ~exits
+       ~doc:
+         "run two configurations (variant pair or secret pair) in lockstep \
+          from shared flight-recorder checkpoints, locate the first cycle \
+          where their structure state diverges, and print a causal slice \
+          report (diverging component, field-level state diff, in-flight \
+          µops, trace tails); exits 1 on divergence")
+    Term.(const run $ witness_arg $ bench $ uops $ variant_a $ variant_b
+          $ secret_a $ secret_b $ window $ interval $ ring $ max_cycles
+          $ json_file $ history_file)
 
 (* ------------------------------------------------------------------ *)
 (* area                                                                *)
@@ -1008,10 +1326,6 @@ let area_cmd =
 (* ------------------------------------------------------------------ *)
 (* lint                                                                *)
 (* ------------------------------------------------------------------ *)
-
-module Taint = Mi6_analysis.Taint
-module Hwlint = Mi6_analysis.Lint
-module Witness = Mi6_analysis.Witness
 
 type lint_machine = M_mi6 | M_variant of Config.variant
 
@@ -1332,7 +1646,7 @@ let () =
       (Cmd.group ~default:Term.(ret (const (`Help (`Pager, None))))
          (Cmd.info "mi6_sim" ~doc ~exits)
          [ run_cmd; multi_cmd; sweep_cmd; attack_cmd; audit_cmd; profile_cmd;
-           top_cmd; area_cmd; lint_cmd ])
+           top_cmd; bisect_cmd; area_cmd; lint_cmd ])
   in
   (* Cmdliner reports its own CLI parse errors as 124; fold that into the
      documented usage-error code. *)

@@ -93,3 +93,16 @@ val structural_signature : t -> int
 
 (** Detailed render of the same state, for the byte-compare oracle. *)
 val dump_state : t -> Buffer.t -> unit
+
+(** Value snapshot of {e all} behavior-relevant state — tag array,
+    replacement metadata, MSHRs, queues, flush cursor, and the
+    miss-latency histogram (everything {!structural_signature} excludes
+    included).  The core-side link FIFOs are captured by the LLC's
+    checkpoint, which owns the links array. *)
+type checkpoint
+
+val save : t -> checkpoint
+
+(** [restore t ck] rewinds [t] in place to the saved state; re-running
+    the same input replays byte-identically. *)
+val restore : t -> checkpoint -> unit

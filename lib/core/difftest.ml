@@ -187,26 +187,56 @@ let run_ooo ~variant uops =
   let cycles = Tmachine.run m ~max_cycles:4_000_000 in
   { committed = List.rev !committed; cycles }
 
-let uop_to_string (u : Uop.t) =
-  let dst = match u.Uop.dst with None -> "-" | Some d -> Printf.sprintf "x%d" d in
-  let srcs =
-    String.concat "," (List.map (Printf.sprintf "x%d") u.Uop.srcs)
+let uop_to_string = Uop.to_string
+
+let first_mismatch ~expected ~actual =
+  let rec go i es actuals =
+    match (es, actuals) with
+    | [], [] -> None
+    | _ :: _, [] | [], _ :: _ -> Some i
+    | e :: es', a :: actuals' ->
+      if e = a then go (i + 1) es' actuals' else Some i
   in
-  let kind =
-    match u.Uop.kind with
-    | Uop.Alu { latency; _ } -> Printf.sprintf "alu[%d]" latency
-    | Uop.Load { addr } -> Printf.sprintf "load 0x%x" addr
-    | Uop.Store { addr } -> Printf.sprintf "store 0x%x" addr
-    | Uop.Branch { taken; target } ->
-      Printf.sprintf "branch %s 0x%x" (if taken then "T" else "N") target
-    | Uop.Jump { target; kind } ->
-      Printf.sprintf "jump%s 0x%x"
-        (match kind with `Plain -> "" | `Call -> ".call" | `Return -> ".ret")
-        target
-    | Uop.Enter_kernel -> "enter_kernel"
-    | Uop.Exit_kernel -> "exit_kernel"
+  go 0 expected actual
+
+(* Re-run the stream with the flight recorder attached, map the failing
+   retirement index to its retirement cycle, and render the causal slice
+   there — what qcheck prints alongside a shrunk counterexample. *)
+let explain_divergence ?(interval = 256) ?(ring = 64) ?(window = 16)
+    ~variant ~index uops =
+  let stats = Stats.create () in
+  let timing = Config.timing ~cores:1 variant in
+  let remaining = ref uops in
+  let stream () =
+    match !remaining with
+    | [] -> None
+    | u :: tl ->
+      remaining := tl;
+      Some u
   in
-  Printf.sprintf "0x%x: %s dst=%s srcs=[%s]" u.Uop.pc kind dst srcs
+  let trace = Trace.create ~capacity:4096 () in
+  let m = Tmachine.create ~trace timing ~streams:[| stream |] ~stats in
+  let retire_cycles = ref [] in
+  Core.set_on_commit (Tmachine.core m 0) (fun _ ->
+      retire_cycles := Tmachine.now m :: !retire_cycles);
+  let recorder =
+    Replay.create ~interval ~capacity:ring
+      ~save:(fun () -> Tmachine.save m)
+      ~cycle_of:Tmachine.checkpoint_cycle
+  in
+  Replay.observe recorder ~cycle:0;
+  let budget = ref 4_000_000 in
+  while (not (Tmachine.finished m)) && !budget > 0 do
+    Tmachine.tick m;
+    decr budget;
+    Replay.observe recorder ~cycle:(Tmachine.now m)
+  done;
+  let cycles = Array.of_list (List.rev !retire_cycles) in
+  let cycle =
+    if Array.length cycles = 0 then Tmachine.now m
+    else cycles.(min index (Array.length cycles - 1))
+  in
+  Bisect.slice_at ~window ~trace ~recorder m ~cycle
 
 let compare_commits ~expected ~actual =
   let rec go i es actuals =

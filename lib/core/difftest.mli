@@ -86,5 +86,23 @@ val run_ooo : variant:Config.variant -> Uop.t list -> ooo_run
 val compare_commits :
   expected:Uop.t list -> actual:Uop.t list -> (unit, string) result
 
+(** Index of the first deviation (including a length mismatch), if any —
+    the position {!compare_commits} reports on. *)
+val first_mismatch : expected:Uop.t list -> actual:Uop.t list -> int option
+
+(** [explain_divergence ~variant ~index uops] re-runs [uops] through the
+    variant machine with a {!Mi6_obs.Replay} flight recorder and a trace
+    attached, maps retirement position [index] to its retirement cycle,
+    and renders {!Bisect.slice_at}'s causal slice there — the annotation
+    printed alongside a shrunk differential-test counterexample. *)
+val explain_divergence :
+  ?interval:int ->
+  ?ring:int ->
+  ?window:int ->
+  variant:Config.variant ->
+  index:int ->
+  Uop.t list ->
+  string
+
 (** One-line rendering of a µop for counterexample reports. *)
 val uop_to_string : Uop.t -> string

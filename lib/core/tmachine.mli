@@ -45,6 +45,38 @@ val structural_signature : t -> int
     byte-compares consecutive dumps as the oracle. *)
 val dump_state : t -> string
 
+(** Per-component {!structural_signature} values, labelled ["core0"],
+    ["l1d.0"], ["l1i.0"], …, ["llc"] — the bisector compares these to
+    name the diverging component. *)
+val signature_sections : t -> (string * int) list
+
+(** Per-component [dump_state] renderings under the same labels; slice
+    reports diff them field-by-field. *)
+val dump_sections : t -> (string * string) list
+
+(** Value snapshot of the whole machine: every core (predictors, TLBs,
+    walker, deferred events), every L1, the LLC (links and DRAM
+    included), the stats table, the trace ring, and each µop stream's
+    position.  Stream logging starts lazily at the first [save] — a
+    machine that never checkpoints pays nothing — after which consumed
+    µops are logged so [restore] can rewind the stream cursor and replay
+    byte-identically.
+
+    Core checkpoints rewind closure-captured records in place, so a
+    checkpoint is only valid on the [t] that produced it.  Observability
+    sinks (selfprof, occupancy, telemetry) are not rewound.
+
+    [save ~omit_predictors:true] deliberately breaks the completeness
+    guarantee (see {!Core.save}) — the non-vacuity witness for the
+    checkpoint-determinism property test. *)
+type checkpoint
+
+val save : ?omit_predictors:bool -> t -> checkpoint
+val restore : t -> checkpoint -> unit
+
+(** The machine clock at which the checkpoint was taken. *)
+val checkpoint_cycle : checkpoint -> int
+
 (** [run t ~max_cycles] ticks until every core finishes; returns cycles.
     Raises [Failure] on timeout. *)
 val run : t -> max_cycles:int -> int

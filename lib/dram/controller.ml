@@ -30,6 +30,18 @@ let outstanding = function
 
 let max_outstanding = function Const (_, m) -> m | Reorder (_, m) -> m
 
+type checkpoint = Ck_const of Dram.checkpoint | Ck_reorder of Fr_fcfs.checkpoint
+
+let save = function
+  | Const (d, _) -> Ck_const (Dram.save d)
+  | Reorder (d, _) -> Ck_reorder (Fr_fcfs.save d)
+
+let restore t ck =
+  match (t, ck) with
+  | Const (d, _), Ck_const c -> Dram.restore d c
+  | Reorder (d, _), Ck_reorder c -> Fr_fcfs.restore d c
+  | _ -> invalid_arg "Controller.restore: checkpoint from a different model"
+
 let structural_signature = function
   | Const (d, _) -> Dram.structural_signature d
   | Reorder (d, _) -> Fr_fcfs.structural_signature d

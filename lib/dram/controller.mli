@@ -15,6 +15,15 @@ val tick : t -> now:int -> respond:(tag:int -> line:int -> unit) -> unit
 val outstanding : t -> int
 val max_outstanding : t -> int
 
+(** Value snapshot of the active backend's state. *)
+type checkpoint
+
+val save : t -> checkpoint
+
+(** [restore t ck] — raises [Invalid_argument] if [ck] came from the
+    other backend. *)
+val restore : t -> checkpoint -> unit
+
 (** Fold of the active backend's structure state for the quiet-cycle
     detector (see {!Mi6_util.Statesig}). *)
 val structural_signature : t -> int

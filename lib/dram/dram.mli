@@ -35,6 +35,12 @@ val tick : t -> now:int -> respond:(tag:int -> line:int -> unit) -> unit
 
 val outstanding : t -> int
 
+(** Value snapshot of the in-flight queue and accept-rate limiter. *)
+type checkpoint
+
+val save : t -> checkpoint
+val restore : t -> checkpoint -> unit
+
 (** Fold of the in-flight queue for the quiet-cycle detector (see
     {!Mi6_util.Statesig}). *)
 val structural_signature : t -> int

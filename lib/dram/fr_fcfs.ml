@@ -127,6 +127,34 @@ let tick t ~now ~respond =
     respond ~tag:req.tag ~line:req.line
   | None -> ()
 
+(* Checkpoint/restore: bank records are mutable and copied by value;
+   the waiting queue and ready fifo hold immutable payloads. *)
+type checkpoint = {
+  ck_banks : bank array;
+  ck_queue : waiting list;
+  ck_seq : int;
+  ck_accepted_at : int;
+  ck_ready : (int * req) list;
+}
+
+let copy_bank b = { b with open_row = b.open_row }
+
+let save t =
+  {
+    ck_banks = Array.map copy_bank t.banks;
+    ck_queue = t.queue;
+    ck_seq = t.seq;
+    ck_accepted_at = t.accepted_at;
+    ck_ready = Fifo.to_list t.ready;
+  }
+
+let restore t ck =
+  Array.iteri (fun i b -> t.banks.(i) <- copy_bank b) ck.ck_banks;
+  t.queue <- ck.ck_queue;
+  t.seq <- ck.ck_seq;
+  t.accepted_at <- ck.ck_accepted_at;
+  Fifo.assign t.ready ck.ck_ready
+
 (* Structure state for the quiet-cycle detector: waiting queue, per-bank
    service state, and the response fifo.  Open rows are included — a row
    opened this cycle changes future timing even if the queues look the

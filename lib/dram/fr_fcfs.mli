@@ -31,6 +31,13 @@ val outstanding : t -> int
     standard interleaving). *)
 val bank_of : config -> line:int -> int
 
+(** Value snapshot of the waiting queue, per-bank service state (open
+    rows included), and response fifo. *)
+type checkpoint
+
+val save : t -> checkpoint
+val restore : t -> checkpoint -> unit
+
 (** Fold of queue / bank / response state for the quiet-cycle detector
     (see {!Mi6_util.Statesig}). *)
 val structural_signature : t -> int

@@ -102,6 +102,17 @@ val dump_state : t -> Buffer.t -> unit
     core's next request (tests of the MSHR channels). *)
 val free_mshrs_for : t -> core:int -> line:int -> int
 
+(** Value snapshot of {e all} behavior-relevant state: MSHRs, every
+    queue, the tag array with directory metadata, replacement state, the
+    child links (owned here; the L1s share the same [Link.t] values), and
+    the DRAM controller. *)
+type checkpoint
+
+val save : t -> checkpoint
+
+(** [restore t ck] rewinds the LLC (links and DRAM included) in place. *)
+val restore : t -> checkpoint -> unit
+
 (** [invalidate_region t ~geometry ~region] drops every line whose address
     falls in the DRAM region; monitor support for scrubbing a region
     before reallocation (Section 6: L2 sets need only be scrubbed when

@@ -133,6 +133,16 @@ let leaking_channels r =
 let first_leaking_channel r =
   match leaking_channels r with [] -> None | ch :: _ -> Some ch
 
+(* The earliest victim-visible cycle at which the two streams disagree —
+   the number the bisector's slice report refines down to a component
+   and field diff. *)
+let first_divergence_cycle r =
+  match r.r_first with
+  | Some d ->
+    let c = divergence_cycle d in
+    if c = max_int then None else Some c
+  | None -> None
+
 let pp_divergence ppf d =
   let side c l =
     match c with
@@ -184,6 +194,10 @@ let report_to_json r =
         match r.r_first with
         | None -> Json.Null
         | Some d -> divergence_to_json d );
+      ( "first_divergence_cycle",
+        match first_divergence_cycle r with
+        | Some c -> Json.Int c
+        | None -> Json.Null );
       ( "channels",
         Json.List
           (List.map

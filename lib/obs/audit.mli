@@ -70,5 +70,11 @@ val leaking_channels : report -> channel list
 (** The earliest-diverging channel, i.e. where the leak enters. *)
 val first_leaking_channel : report -> channel option
 
+(** The earliest victim-visible cycle at which the streams disagree
+    (also exported as [first_divergence_cycle] in the report JSON) —
+    the coordinate [mi6_sim bisect] refines down to a component and a
+    field-level state diff. *)
+val first_divergence_cycle : report -> int option
+
 val pp_report : Format.formatter -> report -> unit
 val report_to_json : report -> Json.t

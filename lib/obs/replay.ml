@@ -1,0 +1,67 @@
+type 'ck t = {
+  interval : int;
+  capacity : int;
+  save : unit -> 'ck;
+  cycle_of : 'ck -> int;
+  ring : 'ck option array;
+  mutable head : int; (* next write slot *)
+  mutable count : int;
+  mutable taken : int;
+  mutable mem_hw_words : int;
+}
+
+let create ~interval ~capacity ~save ~cycle_of =
+  if interval <= 0 then invalid_arg "Replay.create: interval must be positive";
+  if capacity <= 0 then invalid_arg "Replay.create: capacity must be positive";
+  {
+    interval;
+    capacity;
+    save;
+    cycle_of;
+    ring = Array.make capacity None;
+    head = 0;
+    count = 0;
+    taken = 0;
+    mem_hw_words = 0;
+  }
+
+let interval t = t.interval
+let count t = t.count
+let taken t = t.taken
+
+let record t =
+  t.ring.(t.head) <- Some (t.save ());
+  t.head <- (t.head + 1) mod t.capacity;
+  t.count <- min t.capacity (t.count + 1);
+  t.taken <- t.taken + 1;
+  (* The ring bounds live checkpoints; the high-water mark is what the
+     perf DB tracks as the recorder's memory cost. *)
+  t.mem_hw_words <- max t.mem_hw_words (Obj.reachable_words (Obj.repr t.ring))
+
+let observe t ~cycle = if cycle mod t.interval = 0 then record t
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.count - 1 do
+    (* Oldest first: count slots ending just before head. *)
+    let idx = (t.head - t.count + i + t.capacity) mod t.capacity in
+    match t.ring.(idx) with
+    | Some ck -> acc := f !acc ck
+    | None -> ()
+  done;
+  !acc
+
+let nearest t ~cycle =
+  fold
+    (fun best ck ->
+      let c = t.cycle_of ck in
+      if c > cycle then best
+      else
+        match best with
+        | Some b when t.cycle_of b >= c -> best
+        | _ -> Some ck)
+    None t
+
+let checkpoints t = List.rev (fold (fun acc ck -> ck :: acc) [] t)
+let oldest_cycle t = match checkpoints t with [] -> None | ck :: _ -> Some (t.cycle_of ck)
+let mem_high_water_words t = t.mem_hw_words

@@ -1,0 +1,44 @@
+(** Flight recorder: a bounded ring of periodic machine checkpoints.
+
+    Generic over the checkpoint type so it lives below the machine in the
+    dependency order: the owner supplies a [save] thunk and a [cycle_of]
+    projection.  Call {!observe} once per simulated cycle; every
+    [interval]-th cycle a checkpoint is taken, and only the most recent
+    [capacity] are retained (bounded memory).  Any cycle at or after the
+    oldest retained checkpoint is then reachable by restoring
+    {!nearest} and re-executing at most [interval] cycles — O(interval)
+    re-execution to any point in the covered window. *)
+
+type 'ck t
+
+val create :
+  interval:int ->
+  capacity:int ->
+  save:(unit -> 'ck) ->
+  cycle_of:('ck -> int) ->
+  'ck t
+
+(** [observe t ~cycle] — take a checkpoint iff [cycle mod interval = 0].
+    Call once per cycle, after ticking. *)
+val observe : 'ck t -> cycle:int -> unit
+
+val interval : 'ck t -> int
+
+(** Checkpoints currently retained. *)
+val count : 'ck t -> int
+
+(** Checkpoints taken over the recorder's lifetime (≥ [count]). *)
+val taken : 'ck t -> int
+
+(** [nearest t ~cycle] — the newest retained checkpoint at or before
+    [cycle], if the window still covers it. *)
+val nearest : 'ck t -> cycle:int -> 'ck option
+
+(** Retained checkpoints, oldest first. *)
+val checkpoints : 'ck t -> 'ck list
+
+val oldest_cycle : 'ck t -> int option
+
+(** High-water mark of [Obj.reachable_words] over the ring — the
+    recorder's memory cost, exported to the perf DB. *)
+val mem_high_water_words : 'ck t -> int

@@ -94,6 +94,11 @@ val lq_occupancy : t -> int
 val sq_occupancy : t -> int
 val sb_occupancy : t -> int
 
+(** [in_flight_uops t] — renamed-but-unretired µops oldest-first, each
+    with its ROB state (["waiting"], ["issued"], ["done"]); rendered by
+    causal-slice reports. *)
+val in_flight_uops : t -> (Uop.t * string) list
+
 (** [last_cycle_cause t] — the {!Cpistack.categories} index the last tick
     was attributed to (feeds per-stall-cause quiet-cycle accounting). *)
 val last_cycle_cause : t -> int
@@ -108,3 +113,23 @@ val structural_signature : t -> int
 (** [dump_state t buf] appends a labelled rendering of the same state
     [structural_signature] folds (the quiet-cycle oracle). *)
 val dump_state : t -> Buffer.t -> unit
+
+(** Value snapshot of {e all} behavior-relevant core state: front end,
+    ROB, rename tables, issue/load/store queues, store buffer, deferred
+    events, purge machinery, predictors (BTB, tournament, RAS), TLBs,
+    translation cache, and page walker — everything
+    [structural_signature] excludes included.  Event and walker
+    continuations capture heap records that [restore] rewinds in place,
+    so a checkpoint is only valid on the [t] that produced it.  The µop
+    stream, the L1s, and the stats table are owned by the machine and
+    checkpointed there; [set_on_commit] probes are left untouched.
+
+    [save ~omit_predictors:true] deliberately leaves predictor state out
+    — restore then leaves the current predictor contents in place.  This
+    exists solely as the non-vacuity witness for the checkpoint
+    determinism property: replay from such a checkpoint must be
+    detectably wrong. *)
+type checkpoint
+
+val save : ?omit_predictors:bool -> t -> checkpoint
+val restore : t -> checkpoint -> unit

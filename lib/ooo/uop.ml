@@ -29,6 +29,25 @@ let next_pc u =
   | Exit_kernel ->
     u.pc + 4
 
+let to_string u =
+  let dst = match u.dst with None -> "-" | Some d -> Printf.sprintf "x%d" d in
+  let srcs = String.concat "," (List.map (Printf.sprintf "x%d") u.srcs) in
+  let kind =
+    match u.kind with
+    | Alu { latency; _ } -> Printf.sprintf "alu[%d]" latency
+    | Load { addr } -> Printf.sprintf "load 0x%x" addr
+    | Store { addr } -> Printf.sprintf "store 0x%x" addr
+    | Branch { taken; target } ->
+      Printf.sprintf "branch %s 0x%x" (if taken then "T" else "N") target
+    | Jump { target; kind } ->
+      Printf.sprintf "jump%s 0x%x"
+        (match kind with `Plain -> "" | `Call -> ".call" | `Return -> ".ret")
+        target
+    | Enter_kernel -> "enter_kernel"
+    | Exit_kernel -> "exit_kernel"
+  in
+  Printf.sprintf "0x%x: %s dst=%s srcs=[%s]" u.pc kind dst srcs
+
 let alu ?(latency = 1) ?(pipe = Pipe_alu) ~pc ~dst ~srcs () =
   { pc; kind = Alu { latency; pipe }; dst = Some dst; srcs }
 

@@ -32,6 +32,10 @@ val is_control : t -> bool
 (** [next_pc u] is the address of the next committed instruction. *)
 val next_pc : t -> int
 
+(** One-line human rendering ("0x…: kind dst=… srcs=[…]") used by the
+    differential tester and causal-slice reports. *)
+val to_string : t -> string
+
 (** Convenience constructors used by workload generators and tests. *)
 
 val alu : ?latency:int -> ?pipe:pipe_class -> pc:int -> dst:int -> srcs:int list -> unit -> t

@@ -64,3 +64,13 @@ val structural_signature : t -> int
 (** [dump_state t buf] appends a labelled rendering of the same state
     [structural_signature] folds (the quiet-cycle oracle). *)
 val dump_state : t -> Buffer.t -> unit
+
+(** Snapshot of the in-flight walk slots and the latency histogram.  Walk
+    continuations capture the owning core, so [restore] rewinds the walk
+    records {e in place} — it is only valid on the same [t] that [save]
+    produced the checkpoint from.  The translation cache is shared state
+    checkpointed by its owner. *)
+type checkpoint
+
+val save : t -> checkpoint
+val restore : t -> checkpoint -> unit

@@ -45,6 +45,12 @@ val diff : t -> baseline:t -> t
     the one-call accessor for exporters (no [names]+[get] pairing). *)
 val to_assoc : t -> (string * int) list
 
+(** [restore ~into snapshot] overwrites [into] in place with the values
+    of [snapshot] (a table from {!copy}); counters created after the
+    snapshot drop back to zero.  The table identity is preserved, so
+    components holding the [t] see the rewound values. *)
+val restore : into:t -> t -> unit
+
 (** Aligned two-column dump; the name column is sized to the longest
     counter name. *)
 val pp : Format.formatter -> t -> unit

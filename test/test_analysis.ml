@@ -291,6 +291,83 @@ let test_lint_ledger () =
     (List.length (Lint.lint_ledger ledger))
 
 (* ------------------------------------------------------------------ *)
+(* Bisection over witness programs                                     *)
+(* ------------------------------------------------------------------ *)
+
+let witness_machine w ~variant ~secret =
+  let init_regs =
+    match (secret, w.Witness.secret_reg) with
+    | Some v, Some r -> [ (r, v) ]
+    | _ -> []
+  in
+  let run =
+    Difftest.run_func ~init_regs ~program:(Witness.program w)
+      ~data_base:0x8000 ~data_bytes:1024 ~max_steps:20_000 ()
+  in
+  let uops =
+    Difftest.to_uops run ~func_code_base:w.Witness.base ~func_data_base:0x8000
+  in
+  let remaining = ref uops in
+  let stream () =
+    match !remaining with
+    | [] -> None
+    | u :: tl ->
+      remaining := tl;
+      Some u
+  in
+  Tmachine.create
+    (Config.timing ~cores:1 variant)
+    ~streams:[| stream |]
+    ~stats:(Mi6_util.Stats.create ())
+
+(* leaky-branch commits a secret-dependent path, so the secret pair must
+   diverge under the exact signature oracle, in the core. *)
+let test_bisect_leaky_branch_secret_pair () =
+  let w = Option.get (Witness.find "leaky-branch") in
+  let a = witness_machine w ~variant:Config.Base ~secret:(Some 0L) in
+  let b = witness_machine w ~variant:Config.Base ~secret:(Some 1L) in
+  let r = Bisect.run ~interval:64 ~ring:16 ~label_a:"s=0" ~label_b:"s=1" a b in
+  match r.Bisect.r_outcome with
+  | Bisect.Clean _ -> Alcotest.fail "leaky-branch secret pair must diverge"
+  | Bisect.Diverged s ->
+    Alcotest.(check string) "signature oracle" "signature" s.Bisect.s_oracle;
+    Alcotest.(check bool) "diverges in the core" true
+      (String.length s.Bisect.s_component >= 4
+      && String.sub s.Bisect.s_component 0 4 = "core")
+
+(* spectre-v1 leaks only transiently — its committed stream is
+   secret-independent — so the secret pair is a meaningful negative. *)
+let test_bisect_spectre_secret_pair_clean () =
+  let w = Option.get (Witness.find "spectre-v1") in
+  let a = witness_machine w ~variant:Config.Base ~secret:(Some 0L) in
+  let b = witness_machine w ~variant:Config.Base ~secret:(Some 1L) in
+  let r = Bisect.run ~interval:64 ~ring:16 ~label_a:"s=0" ~label_b:"s=1" a b in
+  Alcotest.(check bool) "no committed-state divergence" false
+    (Bisect.diverged r)
+
+(* The acceptance pairing: spectre-v1 on BASE vs the full MI6 variant,
+   same committed stream.  The first state split must be in a component
+   hosting the channel the leakage auditor blames for the BASE leak
+   (the LLC arbiter). *)
+let test_bisect_spectre_variant_pair_matches_audit () =
+  let w = Option.get (Witness.find "spectre-v1") in
+  let a = witness_machine w ~variant:Config.Base ~secret:None in
+  let b = witness_machine w ~variant:Config.Fpma ~secret:None in
+  let r =
+    Bisect.run ~interval:64 ~ring:16 ~label_a:"BASE" ~label_b:"F+P+M+A" a b
+  in
+  match r.Bisect.r_outcome with
+  | Bisect.Clean _ -> Alcotest.fail "BASE vs F+P+M+A must diverge"
+  | Bisect.Diverged s ->
+    let channels =
+      List.map Mi6_obs.Audit.channel_name
+        (Bisect.audit_channels_of_component s.Bisect.s_component)
+    in
+    Alcotest.(check bool)
+      "diverging component hosts the audited llc-arbiter channel" true
+      (List.mem "llc-arbiter" channels)
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -325,5 +402,14 @@ let () =
           Alcotest.test_case "LLC set partitions" `Quick test_lint_partitions;
           Alcotest.test_case "region masks" `Quick test_lint_region_masks;
           Alcotest.test_case "ownership ledger" `Quick test_lint_ledger;
+        ] );
+      ( "bisect",
+        [
+          Alcotest.test_case "leaky-branch secret pair diverges in the core"
+            `Quick test_bisect_leaky_branch_secret_pair;
+          Alcotest.test_case "spectre-v1 secret pair commits clean" `Quick
+            test_bisect_spectre_secret_pair_clean;
+          Alcotest.test_case "spectre-v1 variant pair matches audit channel"
+            `Quick test_bisect_spectre_variant_pair_matches_audit;
         ] );
     ]

@@ -680,6 +680,145 @@ let prop_quiet_detector_matches_oracle =
       && Mi6_obs.Occupancy.quiet_cycles occupancy
          < Mi6_obs.Occupancy.cycles occupancy)
 
+(* --- Checkpoint determinism (flight-recorder foundation) --- *)
+
+(* Run [k] cycles collecting everything replay must reproduce: the
+   per-cycle whole-machine signature, the retirement stream, the final
+   labelled dump, and the clock/instruction counts. *)
+let record_run m ~k =
+  let retired = ref [] in
+  Mi6_ooo.Core.set_on_commit (Tmachine.core m 0) (fun u ->
+      retired := Mi6_ooo.Uop.to_string u :: !retired);
+  let sigs = ref [] in
+  for _ = 1 to k do
+    Tmachine.tick m;
+    sigs := Tmachine.structural_signature m :: !sigs
+  done;
+  Mi6_ooo.Core.set_on_commit (Tmachine.core m 0) ignore;
+  ( !sigs,
+    List.rev !retired,
+    Tmachine.dump_state m,
+    Tmachine.now m,
+    Tmachine.committed m )
+
+let checkpoint_machine ~seed ~pick =
+  let bench =
+    List.nth
+      [ Mi6_workload.Spec.Gcc; Mi6_workload.Spec.Mcf;
+        Mi6_workload.Spec.Libquantum; Mi6_workload.Spec.Hmmer ]
+      (pick land 3)
+  in
+  let variant = if pick land 4 = 0 then Config.Base else Config.Fpma in
+  let stream = Tmachine.spec_stream ~seed ~core:0 ~bench ~limit:2_000 () in
+  Tmachine.create
+    (Config.timing ~cores:1 variant)
+    ~streams:[| stream |]
+    ~stats:(Mi6_util.Stats.create ())
+
+let prop_checkpoint_determinism =
+  QCheck.Test.make
+    ~name:"restore + replay is byte-identical to the first execution"
+    ~count:10
+    QCheck.(
+      triple (int_range 0 10_000) (int_range 0 7)
+        (pair (int_range 50 2_000) (int_range 50 1_500)))
+    (fun (seed, pick, (m_cycles, k_cycles)) ->
+      let m = checkpoint_machine ~seed ~pick in
+      for _ = 1 to m_cycles do
+        Tmachine.tick m
+      done;
+      let ck = Tmachine.save m in
+      let first = record_run m ~k:k_cycles in
+      Tmachine.restore m ck;
+      let replay = record_run m ~k:k_cycles in
+      first = replay)
+
+(* Non-vacuity: a checkpoint that deliberately omits one state family
+   (the branch predictors) must be {e caught} by the same oracle —
+   otherwise the property above could pass while save was silently
+   incomplete. *)
+let test_checkpoint_nonvacuity () =
+  let diverged = ref false in
+  let seed = ref 0 in
+  while (not !diverged) && !seed < 5 do
+    let m = checkpoint_machine ~seed:!seed ~pick:0 in
+    for _ = 1 to 1_000 do
+      Tmachine.tick m
+    done;
+    let ck = Tmachine.save ~omit_predictors:true m in
+    let first = record_run m ~k:2_000 in
+    Tmachine.restore m ck;
+    let replay = record_run m ~k:2_000 in
+    if first <> replay then diverged := true;
+    incr seed
+  done;
+  Alcotest.(check bool)
+    "omitting predictor state from the checkpoint breaks replay" true
+    !diverged
+
+(* ---------- cross-run bisection ---------- *)
+
+let bisect_machine ?(seed = 0) ~variant ~bench ~limit () =
+  Tmachine.create
+    (Config.timing ~cores:1 variant)
+    ~streams:[| Tmachine.spec_stream ~seed ~core:0 ~bench ~limit () |]
+    ~stats:(Mi6_util.Stats.create ())
+
+(* BASE vs F+P+M+A on the same stream: structurally different machines,
+   so the activity oracle applies; the earliest state split must be in a
+   component that hosts audit channels. *)
+let test_bisect_variant_pair_diverges () =
+  let bench = Mi6_workload.Spec.Gcc in
+  let a = bisect_machine ~variant:Config.Base ~bench ~limit:2_000 () in
+  let b = bisect_machine ~variant:Config.Fpma ~bench ~limit:2_000 () in
+  let r =
+    Bisect.run ~interval:64 ~ring:16 ~label_a:"BASE" ~label_b:"F+P+M+A" a b
+  in
+  match r.Bisect.r_outcome with
+  | Bisect.Clean _ -> Alcotest.fail "BASE vs F+P+M+A must diverge"
+  | Bisect.Diverged s ->
+    Alcotest.(check string) "activity oracle" "activity" s.Bisect.s_oracle;
+    Alcotest.(check bool) "positive cycle" true (s.Bisect.s_cycle > 0);
+    Alcotest.(check bool) "component hosts audit channels" true
+      (Bisect.audit_channels_of_component s.Bisect.s_component <> [])
+
+let test_bisect_identical_machines_clean () =
+  let mk () =
+    bisect_machine ~variant:Config.Base ~bench:Mi6_workload.Spec.Mcf
+      ~limit:1_000 ()
+  in
+  let r = Bisect.run ~interval:64 ~ring:16 ~label_a:"a" ~label_b:"b" (mk ())
+      (mk ())
+  in
+  (match r.Bisect.r_outcome with
+  | Bisect.Clean { cycles_run } ->
+    Alcotest.(check bool) "ran to completion" true (cycles_run > 0)
+  | Bisect.Diverged s ->
+    Alcotest.failf "identical machines diverged at cycle %d" s.Bisect.s_cycle);
+  Alcotest.(check bool) "checkpoints taken" true
+    (r.Bisect.r_stats.Bisect.cs_taken > 0);
+  Alcotest.(check bool) "memory high-water tracked" true
+    (r.Bisect.r_stats.Bisect.cs_mem_high_water_words > 0)
+
+(* Same configuration, different streams (the secret-pair shape): the
+   exact signature oracle with checkpoint-boundary compare + binary
+   search must pin a first divergent cycle. *)
+let test_bisect_signature_oracle_pins_cycle () =
+  let mk seed =
+    bisect_machine ~seed ~variant:Config.Base ~bench:Mi6_workload.Spec.Gcc
+      ~limit:1_000 ()
+  in
+  let r =
+    Bisect.run ~interval:64 ~ring:16 ~label_a:"s0" ~label_b:"s1" (mk 0) (mk 7)
+  in
+  match r.Bisect.r_outcome with
+  | Bisect.Clean _ -> Alcotest.fail "different streams must diverge"
+  | Bisect.Diverged s ->
+    Alcotest.(check string) "signature oracle" "signature" s.Bisect.s_oracle;
+    Alcotest.(check bool) "positive cycle" true (s.Bisect.s_cycle > 0);
+    Alcotest.(check bool) "field-level diff rendered" true
+      (s.Bisect.s_diffs <> [])
+
 let test_concurrent_enclaves_on_two_cores () =
   let _mem, fsims, monitor = make_machine ~cores:2 () in
   let mk regions =
@@ -862,6 +1001,21 @@ let () =
             test_concurrent_enclaves_on_two_cores;
         ]
         @ qsuite [ prop_quiet_detector_matches_oracle ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "non-vacuity: omitted predictors break replay"
+            `Quick test_checkpoint_nonvacuity;
+        ]
+        @ qsuite [ prop_checkpoint_determinism ] );
+      ( "bisect",
+        [
+          Alcotest.test_case "variant pair diverges (activity oracle)" `Quick
+            test_bisect_variant_pair_diverges;
+          Alcotest.test_case "identical machines stay clean" `Quick
+            test_bisect_identical_machines_clean;
+          Alcotest.test_case "signature oracle pins the first cycle" `Quick
+            test_bisect_signature_oracle_pins_cycle;
+        ] );
       ( "ecall_abi",
         [
           Alcotest.test_case "full lifecycle via ecall" `Quick

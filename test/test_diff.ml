@@ -51,9 +51,20 @@ let check_program variant ops =
   with
   | Ok () -> true
   | Error msg ->
-    QCheck.Test.fail_reportf "%s divergence: %s"
+    (* Map the failing retirement index to its cycle via the flight
+       recorder and print the causal slice under the counterexample. *)
+    let slice =
+      match
+        Difftest.first_mismatch ~expected:uops ~actual:ooo.Difftest.committed
+      with
+      | None -> ""
+      | Some index -> (
+        try Difftest.explain_divergence ~variant ~index uops
+        with _ -> "(slice unavailable)")
+    in
+    QCheck.Test.fail_reportf "%s divergence: %s\n%s"
       (Config.variant_name variant)
-      msg
+      msg slice
 
 (* >= 500 random programs per runtest across the three variants. *)
 let diff_tests =
