@@ -1,6 +1,6 @@
 # Convenience wrapper around dune; `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench-smoke audit-smoke sweep-smoke telemetry-smoke top-smoke bisect-smoke lint perf-compare ci clean
+.PHONY: all build test bench-smoke audit-smoke sweep-smoke telemetry-smoke top-smoke bisect-smoke ni-smoke lint perf-compare ci clean
 
 all: build
 
@@ -85,6 +85,26 @@ bisect-smoke:
 		--history BISECT_history.jsonl > /dev/null; test $$? -eq 1'
 	dune exec bench/compare.exe -- --history BISECT_history.jsonl
 
+# Interrupt-schedule noninterference gate:
+#   - a generated adversarial batch on the full MI6 variant must pass
+#     clean (exit 0) and its mi6.ni/1 report must validate;
+#   - replaying the committed BASE counterexample must falsify (exit 1)
+#     and its report must validate too, which (via json_check --ni)
+#     requires the Audit localization to name a real leaking channel;
+#   - the replay verdicts must be byte-identical across --jobs.
+ni-smoke:
+	dune build bin/mi6_sim.exe bench/json_check.exe
+	dune exec bin/mi6_sim.exe -- ni --count 25 --seed 42 --json ni-fpma.json
+	dune exec bench/json_check.exe -- --ni ni-fpma.json
+	sh -c 'dune exec bin/mi6_sim.exe -- ni \
+		--schedule-file examples/ni/base-counterexample.sched \
+		--json ni-base.json; test $$? -eq 1'
+	dune exec bench/json_check.exe -- --ni ni-base.json
+	sh -c 'dune exec bin/mi6_sim.exe -- ni --jobs 2 \
+		--schedule-file examples/ni/base-counterexample.sched \
+		--json ni-base-j2.json; test $$? -eq 1'
+	cmp ni-base.json ni-base-j2.json
+
 # Diff the two most recent bench runs in BENCH_history.jsonl; exits
 # nonzero on a cycle or IPC regression past the default 5% thresholds.
 perf-compare:
@@ -111,11 +131,12 @@ lint:
 		fi; \
 	done
 
-ci: build test bench-smoke audit-smoke sweep-smoke telemetry-smoke top-smoke bisect-smoke lint
+ci: build test bench-smoke audit-smoke sweep-smoke telemetry-smoke top-smoke bisect-smoke ni-smoke lint
 
 clean:
 	dune clean
 	rm -f BENCH_run.json audit.json sweep-serial.json sweep-parallel.json \
 		lint-mi6.json lint-base.json lint-witnesses.json \
 		bisect.json bisect-secret.json BISECT_history.jsonl \
+		ni-fpma.json ni-base.json ni-base-j2.json \
 		telemetry.jsonl tel-serial\#* tel-parallel\#*

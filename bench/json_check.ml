@@ -3,7 +3,7 @@
    usage: json_check [--require KEY]... [--chrome-trace FILE]...
                      [--history FILE]... [--telemetry FILE]...
                      [--min-snapshots N] [--bisect FILE]...
-                     [--agrees-audit FILE] [FILE]...
+                     [--agrees-audit FILE] [--ni FILE]... [FILE]...
 
    Plain FILE arguments must parse as JSON (and contain every --require
    KEY at the top level).  --chrome-trace files must additionally follow
@@ -18,6 +18,9 @@
    --agrees-audit additionally cross-checks each diverged bisect report
    against an audit JSON: the auditor's first leaking baseline channel
    must be among the channels the bisector's diverging component hosts.
+   --ni files must follow the mi6.ni/1 noninterference-report schema:
+   every schedule string replayable through the real parser, every
+   falsified result localized to a known audit channel.
    Exit 0 iff everything passes. *)
 
 open Mi6_obs
@@ -173,6 +176,97 @@ let check_bisect ?audit json =
   | None -> bad "missing \"diverged\"");
   List.rev !problems
 
+(* mi6.ni/1: the interrupt-schedule noninterference report.  Every
+   schedule string must parse back through the real parser (the strings
+   are the replay artifact CI archives), every falsified result must
+   carry a leaking channel the auditor actually has, and the falsified
+   count must agree with the per-result verdicts. *)
+let check_ni json =
+  let problems = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let channel_names =
+    List.map Audit.channel_name Audit.all_channels
+  in
+  (match Json.member "schema" json with
+  | Some (Json.String "mi6.ni/1") -> ()
+  | Some (Json.String other) -> bad "schema is %S, want \"mi6.ni/1\"" other
+  | _ -> bad "missing string \"schema\"");
+  (match Json.member "mode" json with
+  | Some (Json.String ("generate" | "replay")) -> ()
+  | _ -> bad "\"mode\" is not generate|replay");
+  let int_field name =
+    match Json.member name json with
+    | Some (Json.Int i) when i >= 0 -> Some i
+    | _ ->
+      bad "missing non-negative int %S" name;
+      None
+  in
+  let count = int_field "count" in
+  let falsified = int_field "falsified" in
+  (match Json.member "results" json with
+  | Some (Json.List results) ->
+    (match count with
+    | Some n when n <> List.length results ->
+      bad "count is %d but \"results\" has %d entries" n (List.length results)
+    | _ -> ());
+    let seen_falsified = ref 0 in
+    List.iteri
+      (fun i r ->
+        let sched name =
+          match Json.member name r with
+          | Some (Json.String s) -> (
+            match Mi6_core.Schedule.of_string s with
+            | Ok parsed -> Some parsed
+            | Error e -> bad "results[%d].%s: %s" i name e; None)
+          | Some _ -> bad "results[%d].%s is not a string" i name; None
+          | None -> None
+        in
+        (match sched "schedule" with
+        | None ->
+          if Json.member "schedule" r = None then
+            bad "results[%d]: missing \"schedule\"" i
+        | Some parsed -> (
+          match Json.member "variant" r with
+          | Some (Json.String v) ->
+            if
+              Mi6_core.Config.variant_of_name v
+              <> Some parsed.Mi6_core.Schedule.variant
+            then bad "results[%d]: variant %S disagrees with the schedule" i v
+          | _ -> bad "results[%d]: missing string \"variant\"" i));
+        (match Json.member "falsified" r with
+        | Some (Json.Bool f) ->
+          if f then begin
+            incr seen_falsified;
+            (match Json.member "shrunk" r with
+            | None -> ()
+            | Some (Json.String _) -> ignore (sched "shrunk")
+            | Some _ -> bad "results[%d].shrunk is not a string" i);
+            match Json.member "channel" r with
+            | Some (Json.String c) ->
+              if not (List.mem c channel_names) then
+                bad "results[%d]: unknown audit channel %S" i c
+            | _ ->
+              bad
+                "results[%d]: falsified but no leaking \"channel\" (audit \
+                 disagreement)"
+                i
+          end
+        | _ -> bad "results[%d]: missing bool \"falsified\"" i);
+        List.iter
+          (fun name ->
+            match Json.member name r with
+            | Some (Json.List _) -> ()
+            | _ -> bad "results[%d]: missing list %S" i name)
+          [ "observation"; "reference" ])
+      results;
+    (match falsified with
+    | Some n when n <> !seen_falsified ->
+      bad "falsified is %d but %d result(s) are falsified" n !seen_falsified
+    | _ -> ())
+  | Some _ -> bad "\"results\" is not a list"
+  | None -> bad "missing \"results\"");
+  List.rev !problems
+
 let check_telemetry ~min_snapshots file =
   match Telemetry.validate_file ~path:file with
   | Ok n when n < min_snapshots ->
@@ -186,9 +280,13 @@ let () =
   let plain = ref [] and chrome = ref [] and history = ref [] in
   let telemetry = ref [] and min_snapshots = ref 1 in
   let bisect = ref [] and agrees_audit = ref None in
+  let ni = ref [] in
   let rec parse = function
     | "--require" :: k :: rest ->
       require := k :: !require;
+      parse rest
+    | "--ni" :: f :: rest ->
+      ni := f :: !ni;
       parse rest
     | "--chrome-trace" :: f :: rest ->
       chrome := f :: !chrome;
@@ -223,14 +321,16 @@ let () =
   and chrome = List.rev !chrome
   and history = List.rev !history
   and telemetry = List.rev !telemetry
-  and bisect = List.rev !bisect in
+  and bisect = List.rev !bisect
+  and ni = List.rev !ni in
   if plain = [] && chrome = [] && history = [] && telemetry = [] && bisect = []
+     && ni = []
   then begin
     prerr_endline
       "usage: json_check [--require KEY]... [--chrome-trace FILE]...\n\
       \                  [--history FILE]... [--telemetry FILE]...\n\
       \                  [--min-snapshots N] [--bisect FILE]...\n\
-      \                  [--agrees-audit FILE] [FILE]...";
+      \                  [--agrees-audit FILE] [--ni FILE]... [FILE]...";
     exit 2
   end;
   let fail = ref false in
@@ -285,4 +385,5 @@ let () =
       | json -> Some json)
   in
   List.iter (fun file -> with_json file (check_bisect ?audit)) bisect;
+  List.iter (fun file -> with_json file check_ni) ni;
   exit (if !fail then 1 else 0)

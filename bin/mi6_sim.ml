@@ -1639,6 +1639,218 @@ let lint_cmd =
     Term.(const run $ machine $ cores $ witnesses $ hex $ secret_regs
           $ secret_ranges $ window $ json_file $ dump_hex)
 
+(* ------------------------------------------------------------------ *)
+(* ni                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Interrupt-schedule noninterference: generate adversarial preemption
+   schedules (or replay committed ones) and compare the attacker's
+   per-window observables against a reference enclave body.  Exit 1 the
+   moment any schedule distinguishes the bodies. *)
+
+module Body = Mi6_progen.Body
+module Ni_gen = Mi6_progen.Ni_gen
+
+type ni_result = {
+  ni_schedule : Schedule.t;
+  ni_verdict : Schedule.verdict;
+  ni_shrunk : Schedule.t option;  (* falsified only *)
+  ni_channel : Mi6_obs.Audit.channel option;
+}
+
+let ni_cmd =
+  let schedules =
+    Arg.(value & opt_all string []
+         & info [ "schedule" ] ~docv:"SCHED"
+             ~doc:"Replay this schedule string (repeatable), e.g. \
+                   $(b,ni1:BASE:b0:-:probe).  Replay is exact: no \
+                   generation, no shrinking.")
+  in
+  let schedule_file =
+    Arg.(value & opt (some string) None
+         & info [ "schedule-file" ] ~docv:"FILE"
+             ~doc:"Replay every schedule in $(docv), one per line; blank \
+                   lines and $(b,#) comments are ignored.")
+  in
+  let count =
+    Arg.(value & opt int 200
+         & info [ "count" ] ~docv:"N"
+             ~doc:"Adversarial schedules to generate when none are given \
+                   to replay.")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Schedule-generator seed (echoed on stdout so logs pin \
+                   the exact run).")
+  in
+  let variant =
+    Arg.(value & opt variant_conv Config.Fpma
+         & info [ "variant" ] ~docv:"V"
+             ~doc:"Processor variant generated schedules run on \
+                   (replayed schedules carry their own).")
+  in
+  let json_file =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the verdicts as a $(b,mi6.ni/1) JSON document.")
+  in
+  let save_falsified =
+    Arg.(value & opt (some string) None
+         & info [ "save-falsified" ] ~docv:"FILE"
+             ~doc:"Write every falsifying (shrunk) schedule string to \
+                   $(docv), one per line — each replayable verbatim via \
+                   $(b,--schedule).")
+  in
+  let run schedules schedule_file count seed variant jobs json_file
+      save_falsified =
+    guard_io @@ fun () ->
+    let parse str =
+      match Schedule.of_string str with Ok s -> s | Error e -> failwith e
+    in
+    let from_file =
+      match schedule_file with
+      | None -> []
+      | Some path ->
+        let ic = open_in path in
+        Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+        let rec lines acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | line ->
+            let line = String.trim line in
+            if line = "" || line.[0] = '#' then lines acc
+            else lines (parse line :: acc)
+        in
+        lines []
+    in
+    let replayed = List.map parse schedules @ from_file in
+    let generated = replayed = [] in
+    let todo =
+      if generated then Ni_gen.sample ~variant ~seed ~count ()
+      else replayed
+    in
+    if generated then
+      Printf.printf "ni: generating %d schedules on %s (seed %d, jobs %d)\n%!"
+        (List.length todo)
+        (Config.variant_name variant)
+        seed jobs
+    else
+      Printf.printf "ni: replaying %d schedule%s (jobs %d)\n%!"
+        (List.length todo)
+        (if List.length todo = 1 then "" else "s")
+        jobs;
+    let falsifies s = (Body.check s).Schedule.v_falsified in
+    let work s =
+      let v = Body.check s in
+      if not v.Schedule.v_falsified then
+        { ni_schedule = s; ni_verdict = v; ni_shrunk = None; ni_channel = None }
+      else begin
+        (* Generated counterexamples shrink before they are reported;
+           replayed witnesses are kept verbatim.  Either way the Audit
+           diff localizes which hardware channel the leak entered. *)
+        let s' = if generated then Ni_gen.greedy_shrink ~falsifies s else s in
+        {
+          ni_schedule = s;
+          ni_verdict = v;
+          ni_shrunk = Some s';
+          ni_channel = Mi6_obs.Audit.first_leaking_channel (Body.localize s');
+        }
+      end
+    in
+    let results = with_pool ~jobs (fun pool ->
+        Mi6_exec.Pool.run_list pool todo work)
+    in
+    let falsified = List.filter (fun r -> r.ni_shrunk <> None) results in
+    List.iter
+      (fun r ->
+        match r.ni_shrunk with
+        | None ->
+          if not generated then
+            Printf.printf "ok        %s\n" (Schedule.to_string r.ni_schedule)
+        | Some s' ->
+          Printf.printf "FALSIFIED %s\n" (Schedule.to_string r.ni_schedule);
+          if s' <> r.ni_schedule then
+            Printf.printf "  shrunk  %s\n" (Schedule.to_string s');
+          (match r.ni_channel with
+          | Some c ->
+            Printf.printf "  channel %s\n" (Mi6_obs.Audit.channel_name c)
+          | None -> ());
+          let v = (if generated then Body.check s' else r.ni_verdict) in
+          Format.printf "  body:@.%a  reference:@.%a"
+            Schedule.pp_observation v.Schedule.v_obs Schedule.pp_observation
+            v.Schedule.v_ref_obs)
+      results;
+    Printf.printf "ni: %d/%d schedules falsified\n%!" (List.length falsified)
+      (List.length results);
+    (match save_falsified with
+    | Some path ->
+      write_file path
+        (String.concat ""
+           (List.map
+              (fun r ->
+                Schedule.to_string (Option.get r.ni_shrunk) ^ "\n")
+              falsified));
+      Printf.printf "falsifying schedules -> %s\n%!" path
+    | None -> ());
+    (match json_file with
+    | Some path ->
+      let open Mi6_obs in
+      let result_json r =
+        Json.Obj
+          ([
+             ("schedule", Json.String (Schedule.to_string r.ni_schedule));
+             ( "variant",
+               Json.String
+                 (Config.variant_name r.ni_schedule.Schedule.variant) );
+             ("falsified", Json.Bool r.ni_verdict.Schedule.v_falsified);
+           ]
+          @ (match r.ni_shrunk with
+            | None -> []
+            | Some s' -> [ ("shrunk", Json.String (Schedule.to_string s')) ])
+          @ [
+              ( "channel",
+                match r.ni_channel with
+                | Some c -> Json.String (Audit.channel_name c)
+                | None -> Json.Null );
+              ( "observation",
+                Schedule.observation_to_json r.ni_verdict.Schedule.v_obs );
+              ( "reference",
+                Schedule.observation_to_json r.ni_verdict.Schedule.v_ref_obs
+              );
+            ])
+      in
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.String "mi6.ni/1");
+            ("mode", Json.String (if generated then "generate" else "replay"));
+            ("seed", if generated then Json.Int seed else Json.Null);
+            ( "variant",
+              if generated then Json.String (Config.variant_name variant)
+              else Json.Null );
+            ("count", Json.Int (List.length results));
+            ("falsified", Json.Int (List.length falsified));
+            ("results", Json.List (List.map result_json results));
+          ]
+      in
+      write_file path (Json.to_string doc);
+      Printf.printf "ni report -> %s\n%!" path
+    | None -> ());
+    if falsified = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "ni" ~exits
+       ~doc:
+         "adversarial interrupt-schedule noninterference: generate \
+          preemption schedules (or replay committed counterexample \
+          strings) against random enclave bodies and require the \
+          attacker's per-window observables to be independent of the \
+          body; falsifying schedules shrink, localize to an Audit \
+          channel, and print as replayable strings")
+    Term.(const run $ schedules $ schedule_file $ count $ seed $ variant
+          $ jobs $ json_file $ save_falsified)
+
 let () =
   let doc = "cycle-level MI6 / RiscyOO simulator" in
   let code =
@@ -1646,7 +1858,7 @@ let () =
       (Cmd.group ~default:Term.(ret (const (`Help (`Pager, None))))
          (Cmd.info "mi6_sim" ~doc ~exits)
          [ run_cmd; multi_cmd; sweep_cmd; attack_cmd; audit_cmd; profile_cmd;
-           top_cmd; bisect_cmd; area_cmd; lint_cmd ])
+           top_cmd; bisect_cmd; area_cmd; lint_cmd; ni_cmd ])
   in
   (* Cmdliner reports its own CLI parse errors as 124; fold that into the
      documented usage-error code. *)

@@ -146,7 +146,14 @@ let run ~window ~(secret : secret) cfg : raw list =
       let a = Int64.to_int a in
       let bytes = ref st.mem.bytes in
       for i = 0 to width - 1 do
-        bytes := Imap.add (a + i) taint !bytes
+        (* Speculative analysis models store-to-load bypass (Spectre-v4):
+           a younger load may issue before this store drains and observe
+           the previous value, so a store can only raise a byte's taint,
+           never scrub it.  Committed analysis keeps the strong update. *)
+        let t =
+          if window > 0 then taint || byte_taint st (a + i) else taint
+        in
+        bytes := Imap.add (a + i) t !bytes
       done;
       { st with mem = { st.mem with bytes = !bytes } }
     | None ->

@@ -25,8 +25,11 @@
     propagate facts only along the taken direction; with a speculation
     window, the architecturally dead edge is also followed for up to
     [window] wrong-path instructions, modeling Spectre-style transient
-    execution past a resolved-in-the-future branch.  Findings reachable
-    only that way are labeled [speculative]. *)
+    execution past a resolved-in-the-future branch.  Speculative mode
+    also weakens stores to never scrub a byte's taint — a younger load
+    may bypass an older store and observe the stale value (speculative
+    store bypass, Spectre-v4).  Findings reachable only that way are
+    labeled [speculative]. *)
 
 type kind =
   | Branch_condition

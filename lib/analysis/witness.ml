@@ -200,9 +200,67 @@ let ct_memcmp =
     expect_clean_speculative = true;
   }
 
+(* Spectre-v2 shape: the committed path never reaches the indirect jump
+   — the guard is statically always taken — but a poisoned BTB sends the
+   front end down the fall-through, where the jump target is computed
+   from the secret.  The target channel (which BTB set the transient
+   jump trains/probes) is the v2 analogue of v1's cache-set channel. *)
+let spectre_v2 =
+  {
+    name = "spectre-v2";
+    description =
+      "secret-derived indirect jump target behind an always-taken guard: \
+       clean architecturally, BTB-poisoning channel down the wrong path";
+    base = code_base;
+    items =
+      [
+        Asm.Li (t0, 0);
+        Asm.Li (s1, data_base);
+        Asm.Br_to (Instr.Beq, t0, Reg.x0, "safe");
+        alui Instr.And t1 a0 0xF8;
+        alu Instr.Add t1 s1 t1;
+        i (Instr.Jalr { rd = Reg.x0; rs1 = t1; offset = 0 });
+        Asm.Label "safe";
+      ]
+      @ halt;
+    secret = secret_a0;
+    secret_reg = Some a0;
+    expect_clean = true;
+    expect_clean_speculative = false;
+  }
+
+(* Speculative store bypass (Spectre-v4): the secret is stored and then
+   architecturally overwritten with zero before it is ever loaded, so
+   the committed dependent load always reads a public value — but a load
+   that issues before the overwriting store drains picks up the stale
+   secret and drags it into an address. *)
+let ssb =
+  {
+    name = "ssb";
+    description =
+      "secret overwritten in memory before a dependent load: clean \
+       architecturally, leaky when the load bypasses the overwriting store";
+    base = code_base;
+    items =
+      [
+        Asm.Li (s1, data_base);
+        store Instr.Sd s1 a0 64;
+        store Instr.Sd s1 Reg.x0 64;
+        load Instr.Ld t0 s1 64;
+        alui Instr.And t0 t0 0xF8;
+        alu Instr.Add t0 s1 t0;
+        load Instr.Ld t1 t0 0;
+      ]
+      @ halt;
+    secret = secret_a0;
+    secret_reg = Some a0;
+    expect_clean = true;
+    expect_clean_speculative = false;
+  }
+
 let all =
-  [ leaky_branch; leaky_load; leaky_store; leaky_div; spectre_v1; ct_select;
-    ct_memcmp ]
+  [ leaky_branch; leaky_load; leaky_store; leaky_div; spectre_v1; spectre_v2;
+    ssb; ct_select; ct_memcmp ]
 
 let names = List.map (fun w -> w.name) all
 

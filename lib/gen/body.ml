@@ -1,0 +1,30 @@
+open Mi6_isa
+
+let ops_of_seed seed =
+  (* A fresh Random.State per call: the stream must depend on the seed
+     alone, never on how many bodies were drawn before this one. *)
+  let rand = Random.State.make [| 0x6e6973; seed |] in
+  QCheck.Gen.generate1 ~rand (Gen_programs.ops_gen ())
+
+let uops_of_seed seed =
+  let prog =
+    Asm.assemble ~base:Gen_programs.code_base
+      (Gen_programs.materialize (ops_of_seed seed))
+  in
+  let run =
+    Mi6_core.Difftest.run_func ~program:prog
+      ~data_base:Gen_programs.data_base ~data_bytes:Gen_programs.data_bytes
+      ~max_steps:20_000 ()
+  in
+  Mi6_core.Difftest.to_uops run ~func_code_base:Gen_programs.code_base
+    ~func_data_base:Gen_programs.data_base
+
+let check ?max_cycles (s : Mi6_core.Schedule.t) =
+  Mi6_core.Schedule.check ?max_cycles
+    ~body:(uops_of_seed s.Mi6_core.Schedule.body_seed)
+    s
+
+let localize ?max_cycles (s : Mi6_core.Schedule.t) =
+  Mi6_core.Schedule.localize ?max_cycles
+    ~body:(uops_of_seed s.Mi6_core.Schedule.body_seed)
+    s

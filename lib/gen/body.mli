@@ -1,0 +1,23 @@
+(** Deterministic enclave bodies for the interrupt-schedule harness.
+
+    A schedule string must be replayable from nothing but the string, so
+    the enclave body under test is identified by a single integer seed:
+    [ops_of_seed] draws a random forward-branching RV64IM program from
+    the shared {!Gen_programs} generator using a [Random.State] keyed on
+    the seed, and [uops_of_seed] runs it on the functional reference
+    model and translates the committed path into the µop stream the
+    timing core consumes (code remapped into DRAM region 1, data into
+    region 2 — the enclave's ranges, exactly as the differential tests
+    do). *)
+
+val ops_of_seed : int -> Gen_programs.op list
+
+(** The committed-path µop stream of the seeded program — the enclave
+    body a {!Mi6_core.Schedule} preempts.  Deterministic: equal seeds
+    give equal streams. *)
+val uops_of_seed : int -> Mi6_ooo.Uop.t list
+
+(** [check s] / [localize s] — run the schedule against the body its
+    seed denotes (see {!Mi6_core.Schedule.check} / [localize]). *)
+val check : ?max_cycles:int -> Mi6_core.Schedule.t -> Mi6_core.Schedule.verdict
+val localize : ?max_cycles:int -> Mi6_core.Schedule.t -> Mi6_obs.Audit.report

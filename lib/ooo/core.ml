@@ -48,6 +48,7 @@ type t = {
   mutable stream_done : bool;
   mutable fetch_stall_until : int;
   mutable fetch_blocked_on_resolve : bool;
+  mutable fetch_blocked_on_trap : bool;
   mutable fetch_wait_icache : bool;
   mutable fetch_wait_itlb : bool;
   mutable last_fetch_line : int;
@@ -124,6 +125,7 @@ let create ?(trace = Trace.null) ?(selfprof = Selfprof.null) ?(id = 0) cfg
     stream_done = false;
     fetch_stall_until = 0;
     fetch_blocked_on_resolve = false;
+    fetch_blocked_on_trap = false;
     fetch_wait_icache = false;
     fetch_wait_itlb = false;
     last_fetch_line = -1;
@@ -372,6 +374,7 @@ let fetch_stage t =
   if
     t.now >= t.fetch_stall_until
     && (not t.fetch_blocked_on_resolve)
+    && (not t.fetch_blocked_on_trap)
     && not t.stream_done
   then begin
     let budget = ref t.cfg.Core_config.fetch_width in
@@ -400,9 +403,14 @@ let fetch_stage t =
             t.fetch_stall_until <- t.now + t.cfg.Core_config.decode_redirect;
             stop := true)
         | Uop.Enter_kernel | Uop.Exit_kernel ->
-          (* Trap boundary: the front end redirects into/out of the
-             handler. *)
-          t.fetch_stall_until <- t.now + t.cfg.Core_config.redirect_penalty;
+          (* Trap boundary: fetch may not run ahead into the handler (or
+             back into user code) until the trap is delivered — i.e. the
+             marker reaches rename with an empty ROB.  Letting the front
+             end prefetch across the boundary while the older µops drain
+             would warm the next domain's I-lines by an amount that
+             depends on the drain, an interrupt-schedule side channel
+             the purge could never scrub. *)
+          t.fetch_blocked_on_trap <- true;
           stop := true
         | Uop.Alu _ | Uop.Load _ | Uop.Store _ -> ());
         Fifo.enq t.fetch_q { pre_uop = u; pre_mispredict = !mispredicted };
@@ -483,6 +491,12 @@ let rename_stage t =
         t.committed <- t.committed + 1;
         t.on_commit u;
         Stats.incr t.stats "core.traps";
+        (* Trap delivered: the front end redirects into the handler and
+           pays the refill penalty (absorbed by the purge stall on the
+           flushing variants). *)
+        t.fetch_blocked_on_trap <- false;
+        t.fetch_stall_until <-
+          max t.fetch_stall_until (t.now + t.cfg.Core_config.redirect_penalty);
         if t.cfg.Core_config.flush_on_trap then begin
           begin_purge t
             (match u.Uop.kind with
@@ -1056,6 +1070,7 @@ type checkpoint = {
   ck_stream_done : bool;
   ck_fetch_stall_until : int;
   ck_fetch_blocked_on_resolve : bool;
+  ck_fetch_blocked_on_trap : bool;
   ck_fetch_wait_icache : bool;
   ck_fetch_wait_itlb : bool;
   ck_last_fetch_line : int;
@@ -1105,6 +1120,7 @@ let save ?(omit_predictors = false) t =
     ck_stream_done = t.stream_done;
     ck_fetch_stall_until = t.fetch_stall_until;
     ck_fetch_blocked_on_resolve = t.fetch_blocked_on_resolve;
+    ck_fetch_blocked_on_trap = t.fetch_blocked_on_trap;
     ck_fetch_wait_icache = t.fetch_wait_icache;
     ck_fetch_wait_itlb = t.fetch_wait_itlb;
     ck_last_fetch_line = t.last_fetch_line;
@@ -1168,6 +1184,7 @@ let restore t ck =
   t.stream_done <- ck.ck_stream_done;
   t.fetch_stall_until <- ck.ck_fetch_stall_until;
   t.fetch_blocked_on_resolve <- ck.ck_fetch_blocked_on_resolve;
+  t.fetch_blocked_on_trap <- ck.ck_fetch_blocked_on_trap;
   t.fetch_wait_icache <- ck.ck_fetch_wait_icache;
   t.fetch_wait_itlb <- ck.ck_fetch_wait_itlb;
   t.last_fetch_line <- ck.ck_last_fetch_line;
@@ -1273,6 +1290,7 @@ let structural_signature t =
   b t.stream_done;
   i t.fetch_stall_until;
   b t.fetch_blocked_on_resolve;
+  b t.fetch_blocked_on_trap;
   b t.fetch_wait_icache;
   b t.fetch_wait_itlb;
   i t.last_fetch_line;
@@ -1326,9 +1344,10 @@ let dump_state t buf =
   Fifo.iter
     (fun r -> Printf.bprintf buf "(%d,%b)" (Hashtbl.hash r.pre_uop) r.pre_mispredict)
     t.fetch_q;
-  Printf.bprintf buf "] sd=%b fsu=%d fbr=%b fwi=%b fwt=%b lfl=%d lfp=%d "
+  Printf.bprintf buf "] sd=%b fsu=%d fbr=%b fbt=%b fwi=%b fwt=%b lfl=%d lfp=%d "
     t.stream_done t.fetch_stall_until t.fetch_blocked_on_resolve
-    t.fetch_wait_icache t.fetch_wait_itlb t.last_fetch_line t.last_fetch_page;
+    t.fetch_blocked_on_trap t.fetch_wait_icache t.fetch_wait_itlb
+    t.last_fetch_line t.last_fetch_page;
   Printf.bprintf buf "rob=%d/%d/%d[" t.rob_head t.rob_tail t.rob_count;
   Array.iter
     (function

@@ -19,6 +19,7 @@ module L1 = Mi6_cache.L1
 module Index = Mi6_cache.Index
 module Bitvec = Mi6_util.Bitvec
 module Addr = Mi6_mem.Addr
+module Gen_programs = Mi6_progen.Gen_programs
 
 (* ------------------------------------------------------------------ *)
 (* Soundness: dynamically leaking => statically flagged                 *)
@@ -122,6 +123,30 @@ let test_speculative_labeling () =
       Alcotest.(check bool) "committed finding not labeled speculative" false
         f.Taint.speculative)
     (analyze_witness ~window:32 branchy)
+
+(* Anchors for the two transient-only witnesses: the exact channel the
+   analyzer must name, and that it is only visible speculatively. *)
+let test_spectre_v2_channel () =
+  let w = Option.get (Witness.find "spectre-v2") in
+  let fs = analyze_witness ~window:32 w in
+  Alcotest.(check bool) "spectre-v2 flagged" true (fs <> []);
+  Alcotest.(check bool) "spectre-v2 names the jump-target channel" true
+    (List.exists
+       (fun f -> f.Taint.kind = Taint.Jump_target && f.Taint.speculative)
+       fs)
+
+let test_ssb_channel () =
+  let w = Option.get (Witness.find "ssb") in
+  let fs = analyze_witness ~window:32 w in
+  Alcotest.(check bool) "ssb flagged" true (fs <> []);
+  Alcotest.(check bool) "ssb names the load-address channel" true
+    (List.exists
+       (fun f -> f.Taint.kind = Taint.Load_address && f.Taint.speculative)
+       fs);
+  (* The bypass needs no mispredicted branch: the finding survives even
+     a minimal wrong-path window. *)
+  Alcotest.(check bool) "ssb flagged at window 1" true
+    (analyze_witness ~window:1 w <> [])
 
 (* A program violating all four disciplines at once; the emitted findings
    must come out sorted on (pc, kind). *)
@@ -385,6 +410,10 @@ let () =
           Alcotest.test_case "static verdicts" `Quick test_witness_verdicts;
           Alcotest.test_case "speculative labeling" `Quick
             test_speculative_labeling;
+          Alcotest.test_case "spectre-v2 jump-target channel" `Quick
+            test_spectre_v2_channel;
+          Alcotest.test_case "ssb load-address channel" `Quick
+            test_ssb_channel;
           Alcotest.test_case "findings sorted" `Quick test_findings_sorted;
           Alcotest.test_case "leaky-branch leaks on BASE" `Quick
             test_leaky_branch_dynamic;

@@ -15,8 +15,10 @@ open Mi6_isa
 open Mi6_core
 
 (* The random forward-branching program generator lives in
-   {!Gen_programs}, shared with the taint-analysis soundness property
-   (test_analysis). *)
+   {!Mi6_progen.Gen_programs}, shared with the taint-analysis soundness
+   property (test_analysis) and the interrupt-schedule harness
+   (test_schedule). *)
+module Gen_programs = Mi6_progen.Gen_programs
 
 let code_base = Gen_programs.code_base
 let data_base = Gen_programs.data_base
@@ -103,14 +105,22 @@ let probe_data = Mi6_mem.Addr.region_base geometry 3
 
 let marker pc kind = { Uop.pc; kind; dst = None; srcs = [] }
 
+(* Settle gap in µops between the return-path purge and the measured
+   probe body, derived from the machine configuration (both purges, a
+   full ROB drain, a front-end redirect refill, one DRAM round trip)
+   rather than a hand-tuned constant — see {!Schedule.settle_uops}.  A
+   deeper ROB or a slower purge can no longer silently under-warm the
+   property. *)
+let settle = Schedule.settle_uops (Config.timing ~cores:1 Config.Fpma)
+
 (* Fixed probe: a settle gap, then loads touching fresh pages (TLB +
    cache fills), a branch pattern (predictor state), and stores. *)
 let probe_uops =
   let gap =
-    List.init 1000 (fun i ->
+    List.init settle (fun i ->
         Uop.alu ~pc:(probe_code + (4 * i)) ~dst:1 ~srcs:[] ())
   in
-  let after_gap = probe_code + (4 * 1000) in
+  let after_gap = probe_code + (4 * settle) in
   let body =
     List.concat
       (List.init 16 (fun i ->
@@ -181,12 +191,12 @@ let observable ~variant prefix =
   in
   (* Warmup covers the enclave, both purges, and the settle gap; the
      measured window is exactly the probe body. *)
-  let warmup = n + 2 + 1000 in
+  let warmup = n + 2 + settle in
   let r =
     Tmachine.run_stream
       ~timing:(Config.timing ~cores:1 variant)
       ~stream:(stream_of_list stream) ~warmup
-      ~measure:(List.length probe_uops - 1000)
+      ~measure:(List.length probe_uops - settle)
       ()
   in
   let get = Mi6_util.Stats.get r.Tmachine.stats in
@@ -255,6 +265,65 @@ let test_fpma_priming_clean () =
     "F+P+M+A probe cannot distinguish priming enclave from idle" true
     (idle = primed)
 
+(* The derived settle window must cover at least the two purges and one
+   ROB drain at full commit bandwidth — the structural minimum for the
+   probe to start from scrubbed state. *)
+let test_settle_floor () =
+  let cfg = (Config.timing ~cores:1 Config.Fpma).Config.core in
+  let open Mi6_ooo.Core_config in
+  Alcotest.(check bool)
+    "settle covers both purges and a drain" true
+    (settle >= cfg.commit_width * ((2 * cfg.purge_floor) + cfg.rob_entries));
+  Alcotest.(check bool) "settle is finite/sane" true (settle < 100_000)
+
+(* ------------------------------------------------------------------ *)
+(* Transient-leak witnesses commit secret-independent paths            *)
+(* ------------------------------------------------------------------ *)
+
+(* The spectre-v2 and speculative-store-bypass witnesses leak only in
+   the wrong-path shadow: their {e committed} paths must be bit-for-bit
+   independent of the secret, and those paths must retire faithfully
+   through the ooo core.  This anchors what "clean architecturally,
+   leaky speculatively" means for the lint verdicts in test_analysis. *)
+module Witness = Mi6_analysis.Witness
+
+let witness_committed_uops w secret =
+  let run =
+    Difftest.run_func
+      ~init_regs:[ (Reg.a0, secret) ]
+      ~program:(Witness.program w) ~data_base:0x8000 ~data_bytes:1024
+      ~max_steps:20_000 ()
+  in
+  Difftest.to_uops run ~func_code_base:w.Witness.base ~func_data_base:0x8000
+
+let test_transient_witness_commits name () =
+  match Witness.find name with
+  | None -> Alcotest.failf "unknown witness %s" name
+  | Some w ->
+    let a = witness_committed_uops w 0x11L in
+    let b = witness_committed_uops w 0xA5L in
+    (match Difftest.compare_commits ~expected:a ~actual:b with
+    | Ok () -> ()
+    | Error msg ->
+      Alcotest.failf "%s committed path depends on the secret: %s" name msg);
+    (* And the secret-independent path retires exactly through the ooo
+       core, mispredicted shadow and all. *)
+    let ooo = Difftest.run_ooo ~variant:Config.Base a in
+    (match
+       Difftest.compare_commits ~expected:a ~actual:ooo.Difftest.committed
+     with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "%s ooo divergence: %s" name msg)
+
+let transient_witness_tests =
+  List.map
+    (fun name ->
+      Alcotest.test_case
+        (Printf.sprintf "%s commits a secret-independent path" name)
+        `Quick
+        (test_transient_witness_commits name))
+    [ "spectre-v1"; "spectre-v2"; "ssb" ]
+
 (* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
@@ -270,5 +339,8 @@ let () =
               test_base_leak_witness;
             Alcotest.test_case "F+P+M+A priming clean" `Quick
               test_fpma_priming_clean;
+            Alcotest.test_case "settle gap derived from config" `Quick
+              test_settle_floor;
           ] );
+      ("transient-witnesses", transient_witness_tests);
     ]
