@@ -1,6 +1,6 @@
 # Convenience wrapper around dune; `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench-smoke audit-smoke sweep-smoke telemetry-smoke top-smoke bisect-smoke ni-smoke lint perf-compare ci clean
+.PHONY: all build test bench-smoke audit-smoke sweep-smoke telemetry-smoke top-smoke bisect-smoke ni-smoke lint lint-channels perf-compare ci clean
 
 all: build
 
@@ -131,12 +131,49 @@ lint:
 		fi; \
 	done
 
-ci: build test bench-smoke audit-smoke sweep-smoke telemetry-smoke top-smoke bisect-smoke ni-smoke lint
+# Channel-inference gate (mi6.lint/2 reports):
+#   - the full witness corpus under --channels must produce a report
+#     that validates against json_check --lint (every speculative
+#     finding names a channel) and is byte-identical across two runs;
+#   - the BASE machine must be flagged with each config finding mapped
+#     to the channel it leaves open, the MI6 machine must lint clean
+#     over the same shared-region demo ledger;
+#   - every committed hex example must get its expected verdict with
+#     channel lowering on (ct_* clean, everything else flagged).
+lint-channels:
+	dune build bin/mi6_sim.exe bench/json_check.exe
+	sh -c 'dune exec bin/mi6_sim.exe -- lint --witness all --speculative 32 \
+		--channels --json lint-channels.json; test $$? -eq 1'
+	sh -c 'dune exec bin/mi6_sim.exe -- lint --witness all --speculative 32 \
+		--channels --json lint-channels-2.json; test $$? -eq 1'
+	cmp lint-channels.json lint-channels-2.json
+	dune exec bench/json_check.exe -- --lint lint-channels.json
+	sh -c 'dune exec bin/mi6_sim.exe -- lint --machine base --channels \
+		--json lint-channels-base.json; test $$? -eq 1'
+	dune exec bin/mi6_sim.exe -- lint --machine mi6 --channels \
+		--json lint-channels-mi6.json
+	dune exec bench/json_check.exe -- --lint lint-channels-base.json \
+		--lint lint-channels-mi6.json
+	for f in examples/lint/*.hex; do \
+		case $$f in examples/lint/ct_*) want=0 ;; *) want=1 ;; esac; \
+		dune exec bin/mi6_sim.exe -- lint --hex $$f --speculative 32 \
+			--channels --json "$${f%.hex}-channels.json"; got=$$?; \
+		if [ $$got -ne $$want ]; then \
+			echo "lint-channels: $$f exited $$got, expected $$want"; exit 1; \
+		fi; \
+		dune exec bench/json_check.exe -- --lint "$${f%.hex}-channels.json" \
+			|| exit 1; \
+	done
+	rm -f examples/lint/*-channels.json
+
+ci: build test bench-smoke audit-smoke sweep-smoke telemetry-smoke top-smoke bisect-smoke ni-smoke lint lint-channels
 
 clean:
 	dune clean
 	rm -f BENCH_run.json audit.json sweep-serial.json sweep-parallel.json \
 		lint-mi6.json lint-base.json lint-witnesses.json \
+		lint-channels.json lint-channels-2.json lint-channels-base.json \
+		lint-channels-mi6.json examples/lint/*-channels.json \
 		bisect.json bisect-secret.json BISECT_history.jsonl \
 		ni-fpma.json ni-base.json ni-base-j2.json \
 		telemetry.jsonl tel-serial\#* tel-parallel\#*

@@ -3,7 +3,8 @@
    usage: json_check [--require KEY]... [--chrome-trace FILE]...
                      [--history FILE]... [--telemetry FILE]...
                      [--min-snapshots N] [--bisect FILE]...
-                     [--agrees-audit FILE] [--ni FILE]... [FILE]...
+                     [--agrees-audit FILE] [--ni FILE]...
+                     [--lint FILE]... [FILE]...
 
    Plain FILE arguments must parse as JSON (and contain every --require
    KEY at the top level).  --chrome-trace files must additionally follow
@@ -21,6 +22,11 @@
    --ni files must follow the mi6.ni/1 noninterference-report schema:
    every schedule string replayable through the real parser, every
    falsified result localized to a known audit channel.
+   --lint files must follow the mi6.lint/2 static channel-inference
+   schema: kinds and channel names from the analyzer's vocabulary,
+   clean flags consistent with findings, and — when the report was
+   produced with --channels — every speculative program finding naming
+   at least one channel it can leak through.
    Exit 0 iff everything passes. *)
 
 open Mi6_obs
@@ -267,6 +273,173 @@ let check_ni json =
   | None -> bad "missing \"results\"");
   List.rev !problems
 
+(* mi6.lint/2: the static channel-inference report.  Findings carry
+   their speculation/rsb provenance and value-set target; with channels
+   on, every program finding must list its candidate and open channels
+   (known names, opens a subset of candidates), every speculative
+   finding must name at least one channel, and every config finding must
+   map its check to a channel or an explicit null. *)
+let check_lint json =
+  let problems = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let channel_names =
+    List.map Mi6_analysis.Channel.name Mi6_analysis.Channel.all
+  in
+  let kind_names =
+    [
+      "branch-condition"; "jump-target"; "load-address"; "store-address";
+      "variable-latency"; "shared-write"; "shared-read";
+    ]
+  in
+  (match Json.member "schema" json with
+  | Some (Json.String "mi6.lint/2") -> ()
+  | Some (Json.String other) -> bad "schema is %S, want \"mi6.lint/2\"" other
+  | _ -> bad "missing string \"schema\"");
+  List.iter
+    (fun name ->
+      match Json.member name json with
+      | Some (Json.String _) -> ()
+      | _ -> bad "missing string %S" name)
+    [ "tool"; "machine" ];
+  (match Json.member "window" json with
+  | Some (Json.Int w) when w >= 0 -> ()
+  | _ -> bad "missing non-negative int \"window\"");
+  let channels_on =
+    match Json.member "channels" json with
+    | Some (Json.Bool b) -> b
+    | _ ->
+      bad "missing bool \"channels\"";
+      false
+  in
+  let total = ref 0 in
+  let channel_list ~where name j =
+    match Json.member name j with
+    | Some (Json.List l) ->
+      let names =
+        List.filter_map (function Json.String s -> Some s | _ -> None) l
+      in
+      if List.length names <> List.length l then
+        bad "%s: %S is not a list of strings" where name;
+      List.iter
+        (fun c ->
+          if not (List.mem c channel_names) then
+            bad "%s: unknown channel %S in %S" where c name)
+        names;
+      Some names
+    | Some _ ->
+      bad "%s: %S is not a list" where name;
+      None
+    | None ->
+      bad "%s: missing %S (channels report)" where name;
+      None
+  in
+  let check_program_finding ~where f =
+    (match Json.member "pc" f with
+    | Some (Json.Int pc) when pc >= 0 -> ()
+    | _ -> bad "%s: missing non-negative int \"pc\"" where);
+    (match Json.member "kind" f with
+    | Some (Json.String k) ->
+      if not (List.mem k kind_names) then bad "%s: unknown kind %S" where k
+    | _ -> bad "%s: missing string \"kind\"" where);
+    let speculative =
+      match Json.member "speculative" f with
+      | Some (Json.Bool b) -> b
+      | _ ->
+        bad "%s: missing bool \"speculative\"" where;
+        false
+    in
+    (match Json.member "rsb" f with
+    | Some (Json.Bool _) -> ()
+    | _ -> bad "%s: missing bool \"rsb\"" where);
+    (match Json.member "target" f with
+    | Some (Json.String _) | Some Json.Null -> ()
+    | _ -> bad "%s: \"target\" is neither string nor null" where);
+    (match Json.member "width" f with
+    | Some (Json.Int w) when w >= 0 -> ()
+    | _ -> bad "%s: missing non-negative int \"width\"" where);
+    List.iter
+      (fun name ->
+        match Json.member name f with
+        | Some (Json.String _) -> ()
+        | _ -> bad "%s: missing string %S" where name)
+      [ "instr"; "detail" ];
+    if channels_on then begin
+      let chans = channel_list ~where "channels" f in
+      let opens = channel_list ~where "open_channels" f in
+      (match (chans, opens) with
+      | Some cs, Some os ->
+        List.iter
+          (fun o ->
+            if not (List.mem o cs) then
+              bad "%s: open channel %S not among \"channels\"" where o)
+          os
+      | _ -> ());
+      match chans with
+      | Some [] when speculative ->
+        bad "%s: speculative finding names no channel" where
+      | _ -> ()
+    end
+  in
+  let check_config_finding ~where f =
+    List.iter
+      (fun name ->
+        match Json.member name f with
+        | Some (Json.String _) -> ()
+        | _ -> bad "%s: missing string %S" where name)
+      [ "check"; "subject"; "message" ];
+    if channels_on then
+      match Json.member "channel" f with
+      | Some (Json.String c) ->
+        if not (List.mem c channel_names) then
+          bad "%s: unknown channel %S" where c
+      | Some Json.Null -> ()
+      | _ -> bad "%s: \"channel\" is neither string nor null" where
+  in
+  let section name check_finding =
+    match Json.member name json with
+    | Some (Json.List entries) ->
+      List.iteri
+        (fun i entry ->
+          let ename =
+            match Json.member "name" entry with
+            | Some (Json.String s) -> s
+            | _ ->
+              bad "%s[%d]: missing string \"name\"" name i;
+              string_of_int i
+          in
+          let findings =
+            match Json.member "findings" entry with
+            | Some (Json.List fs) ->
+              total := !total + List.length fs;
+              List.iteri
+                (fun j f ->
+                  check_finding
+                    ~where:(Printf.sprintf "%s[%s].findings[%d]" name ename j)
+                    f)
+                fs;
+              fs
+            | _ ->
+              bad "%s[%s]: missing list \"findings\"" name ename;
+              []
+          in
+          match Json.member "clean" entry with
+          | Some (Json.Bool clean) ->
+            if clean <> (findings = []) then
+              bad "%s[%s]: \"clean\" disagrees with findings" name ename
+          | _ -> bad "%s[%s]: missing bool \"clean\"" name ename)
+        entries
+    | Some _ -> bad "%S is not a list" name
+    | None -> bad "missing %S" name
+  in
+  section "programs" check_program_finding;
+  section "configs" check_config_finding;
+  (match Json.member "total_findings" json with
+  | Some (Json.Int n) ->
+    if n <> !total then
+      bad "total_findings is %d but sections carry %d finding(s)" n !total
+  | _ -> bad "missing int \"total_findings\"");
+  List.rev !problems
+
 let check_telemetry ~min_snapshots file =
   match Telemetry.validate_file ~path:file with
   | Ok n when n < min_snapshots ->
@@ -280,13 +453,16 @@ let () =
   let plain = ref [] and chrome = ref [] and history = ref [] in
   let telemetry = ref [] and min_snapshots = ref 1 in
   let bisect = ref [] and agrees_audit = ref None in
-  let ni = ref [] in
+  let ni = ref [] and lint = ref [] in
   let rec parse = function
     | "--require" :: k :: rest ->
       require := k :: !require;
       parse rest
     | "--ni" :: f :: rest ->
       ni := f :: !ni;
+      parse rest
+    | "--lint" :: f :: rest ->
+      lint := f :: !lint;
       parse rest
     | "--chrome-trace" :: f :: rest ->
       chrome := f :: !chrome;
@@ -322,15 +498,17 @@ let () =
   and history = List.rev !history
   and telemetry = List.rev !telemetry
   and bisect = List.rev !bisect
-  and ni = List.rev !ni in
+  and ni = List.rev !ni
+  and lint = List.rev !lint in
   if plain = [] && chrome = [] && history = [] && telemetry = [] && bisect = []
-     && ni = []
+     && ni = [] && lint = []
   then begin
     prerr_endline
       "usage: json_check [--require KEY]... [--chrome-trace FILE]...\n\
       \                  [--history FILE]... [--telemetry FILE]...\n\
       \                  [--min-snapshots N] [--bisect FILE]...\n\
-      \                  [--agrees-audit FILE] [--ni FILE]... [FILE]...";
+      \                  [--agrees-audit FILE] [--ni FILE]...\n\
+      \                  [--lint FILE]... [FILE]...";
     exit 2
   end;
   let fail = ref false in
@@ -386,4 +564,5 @@ let () =
   in
   List.iter (fun file -> with_json file (check_bisect ?audit)) bisect;
   List.iter (fun file -> with_json file check_ni) ni;
+  List.iter (fun file -> with_json file check_lint) lint;
   exit (if !fail then 1 else 0)

@@ -25,6 +25,7 @@ open Mi6_core
 module Taint = Mi6_analysis.Taint
 module Hwlint = Mi6_analysis.Lint
 module Witness = Mi6_analysis.Witness
+module Channel = Mi6_analysis.Channel
 
 (* ------------------------------------------------------------------ *)
 (* Converters                                                          *)
@@ -1368,13 +1369,14 @@ let range_conv =
 
 (* The text program format [lint --hex] reads (and [--dump-hex] writes):
    one 32-bit hex word per line; [#] comment lines may carry
-   [base]/[secret-reg]/[secret-range] directives describing the load
-   address and the secret set. *)
+   [base]/[secret-reg]/[secret-range]/[shared-range] directives describing
+   the load address, the secret set, and declared read-shared windows. *)
 let parse_hex_program path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
   let base = ref 0x1000 in
   let regs = ref [] and ranges = ref [] and words = ref [] in
+  let shared = ref [] in
   let lineno = ref 0 in
   (try
      while true do
@@ -1382,6 +1384,13 @@ let parse_hex_program path =
        incr lineno;
        let line = String.trim raw in
        let fail msg = failwith (Printf.sprintf "%s:%d: %s" path !lineno msg) in
+       let parse_range what v into =
+         match String.split_on_char ':' v with
+         | [ lo; hi ] -> (
+           try into := (int_of_string lo, int_of_string hi) :: !into
+           with Failure _ -> fail (Printf.sprintf "bad %s %s" what v))
+         | _ -> fail (Printf.sprintf "bad %s %s (expected LO:HI)" what v)
+       in
        if line = "" then ()
        else if line.[0] = '#' then begin
          let fields =
@@ -1397,12 +1406,8 @@ let parse_hex_program path =
            match Mi6_isa.Reg.of_name r with
            | Some reg -> regs := reg :: !regs
            | None -> fail ("unknown register " ^ r))
-         | "secret-range" :: v :: _ -> (
-           match String.split_on_char ':' v with
-           | [ lo; hi ] -> (
-             try ranges := (int_of_string lo, int_of_string hi) :: !ranges
-             with Failure _ -> fail ("bad secret-range " ^ v))
-           | _ -> fail ("bad secret-range " ^ v ^ " (expected LO:HI)"))
+         | "secret-range" :: v :: _ -> parse_range "secret-range" v ranges
+         | "shared-range" :: v :: _ -> parse_range "shared-range" v shared
          | _ -> ()
        end
        else
@@ -1412,7 +1417,8 @@ let parse_hex_program path =
    with End_of_file -> ());
   ( { Mi6_isa.Asm.base = !base; words = Array.of_list (List.rev !words);
       labels = [] },
-    { Taint.regs = List.rev !regs; ranges = List.rev !ranges } )
+    { Taint.regs = List.rev !regs; ranges = List.rev !ranges },
+    List.rev !shared )
 
 let lint_cmd =
   let machine =
@@ -1458,10 +1464,30 @@ let lint_cmd =
     Arg.(value & opt int 0
          & info [ "speculative" ] ~docv:"N"
              ~doc:"Also follow the architecturally dead edge of statically \
-                   resolved branches for up to $(docv) wrong-path \
-                   instructions (Spectre-style transient execution).  \
-                   Findings reachable only that way are labeled \
-                   speculative.")
+                   resolved branches — and the stale predicted target of a \
+                   return whose modeled return-stack has underflowed — for \
+                   up to $(docv) wrong-path instructions (Spectre-style \
+                   transient execution).  Findings reachable only that way \
+                   are labeled speculative.")
+  in
+  let shared_ranges =
+    Arg.(value & opt_all range_conv []
+         & info [ "shared-range" ] ~docv:"LO:HI"
+             ~doc:"Declare memory bytes [LO,HI) as a read-shared region \
+                   (repeatable; adds to any directives or witness \
+                   defaults).  Any store into a shared region, and any \
+                   secret-indexed load from one, is flagged as a \
+                   cross-enclave channel.")
+  in
+  let channels =
+    Arg.(value & flag
+         & info [ "channels" ]
+             ~doc:"Lower every finding to the microarchitectural channels \
+                   it can leak through (cache-fill, llc-mshr, llc-arbiter, \
+                   dram-cmd, page-walk, btb, rsb, ...), resolved against \
+                   the $(b,--machine) configuration (BASE when none is \
+                   given), and report which of them that configuration \
+                   leaves open.")
   in
   let json_file =
     Arg.(value & opt (some string) None
@@ -1474,7 +1500,7 @@ let lint_cmd =
                    $(b,--hex) input format, then exit.")
   in
   let run machine cores witnesses hex secret_regs secret_ranges window
-      json_file dump_hex =
+      shared_ranges channels json_file dump_hex =
     guard_io @@ fun () ->
     match dump_hex with
     | Some dir ->
@@ -1497,8 +1523,29 @@ let lint_cmd =
           ranges = s.Taint.ranges @ secret_ranges;
         }
       in
-      let analyze_one ~name ~secret program =
-        match Taint.analyze_program ~window ~secret program with
+      (* Channel inference resolves findings against the machine being
+         linted; with no --machine, the insecure BASE geometry (the one
+         the dynamic Audit cross-check runs). *)
+      let channel_timing =
+        match machine with
+        | Some M_mi6 -> Config.secure_multicore ~cores
+        | Some (M_variant v) -> Config.timing ~cores v
+        | None -> Config.timing ~cores Config.Base
+      in
+      let channel_note f =
+        if not channels then ""
+        else
+          let names chs =
+            if chs = [] then "none"
+            else String.concat "," (List.map Channel.name chs)
+          in
+          Printf.sprintf "\n      channels: %s; open here: %s"
+            (names (Channel.infer ~timing:channel_timing f))
+            (names (Channel.open_channels ~timing:channel_timing f))
+      in
+      let analyze_one ~name ~secret ~shared program =
+        let shared = shared @ shared_ranges in
+        match Taint.analyze_program ~window ~shared ~secret program with
         | Error msg -> failwith (Printf.sprintf "%s: %s" name msg)
         | Ok findings ->
           let n = List.length findings in
@@ -1512,8 +1559,9 @@ let lint_cmd =
               window;
             List.iter
               (fun f ->
-                Printf.printf "  %s\n"
-                  (Format.asprintf "%a" Taint.pp_finding f))
+                Printf.printf "  %s%s\n"
+                  (Format.asprintf "%a" Taint.pp_finding f)
+                  (channel_note f))
               findings
           end;
           (name, findings)
@@ -1533,17 +1581,18 @@ let lint_cmd =
                        (String.concat ", " Witness.names))
                 | Some w ->
                   analyze_one ~name:w.Witness.name
-                    ~secret:(extend w.Witness.secret) (Witness.program w))
+                    ~secret:(extend w.Witness.secret) ~shared:w.Witness.shared
+                    (Witness.program w))
               names
         in
         let from_hex =
           match hex with
           | None -> []
           | Some path ->
-            let program, secret = parse_hex_program path in
+            let program, secret, shared = parse_hex_program path in
             [
               analyze_one ~name:(Filename.basename path)
-                ~secret:(extend secret) program;
+                ~secret:(extend secret) ~shared program;
             ]
         in
         from_witnesses @ from_hex
@@ -1564,7 +1613,9 @@ let lint_cmd =
             | M_variant _ -> findings
             | M_mi6 ->
               (* Exercise the Section 6.1 ownership checks on a populated
-                 ledger: two enclaves carved out of OS memory. *)
+                 ledger: two enclaves carved out of OS memory, with a
+                 declared read share between them — the Citadel relaxation
+                 the linter must admit without a finding. *)
               let ledger = Region.create Mi6_mem.Addr.default_regions in
               ignore
                 (Region.transfer ledger ~regions:[ 1; 2 ] ~from_:Region.Os
@@ -1572,7 +1623,17 @@ let lint_cmd =
               ignore
                 (Region.transfer ledger ~regions:[ 3 ] ~from_:Region.Os
                    ~to_:(Region.Enclave 1));
+              ignore
+                (Region.share ledger ~region:2 ~owner:(Region.Enclave 0)
+                   ~reader:(Region.Enclave 1));
               findings @ Hwlint.lint_ledger ledger
+          in
+          let config_note (f : Hwlint.finding) =
+            if not channels then ""
+            else
+              match Channel.of_lint_check f.Hwlint.check with
+              | Some ch -> Printf.sprintf "  [channel: %s]" (Channel.name ch)
+              | None -> ""
           in
           let n = List.length findings in
           if n = 0 then
@@ -1584,8 +1645,9 @@ let lint_cmd =
               cores;
             List.iter
               (fun f ->
-                Printf.printf "  %s\n"
-                  (Format.asprintf "%a" Hwlint.pp_finding f))
+                Printf.printf "  %s%s\n"
+                  (Format.asprintf "%a" Hwlint.pp_finding f)
+                  (config_note f))
               findings
           end;
           (name, findings)
@@ -1602,6 +1664,36 @@ let lint_cmd =
       (match json_file with
       | Some path ->
         let open Mi6_obs in
+        let append_fields j extra =
+          match j with
+          | Json.Obj fields -> Json.Obj (fields @ extra)
+          | j -> j
+        in
+        let program_finding_json f =
+          let base = Taint.finding_to_json f in
+          if not channels then base
+          else
+            append_fields base
+              [
+                ( "channels",
+                  Channel.to_json (Channel.infer ~timing:channel_timing f) );
+                ( "open_channels",
+                  Channel.to_json
+                    (Channel.open_channels ~timing:channel_timing f) );
+              ]
+        in
+        let config_finding_json (f : Hwlint.finding) =
+          let base = Hwlint.finding_to_json f in
+          if not channels then base
+          else
+            append_fields base
+              [
+                ( "channel",
+                  match Channel.of_lint_check f.Hwlint.check with
+                  | Some ch -> Json.String (Channel.name ch)
+                  | None -> Json.Null );
+              ]
+        in
         let section to_json reports =
           Json.List
             (List.map
@@ -1617,10 +1709,17 @@ let lint_cmd =
         let doc =
           Json.Obj
             [
+              ("schema", Json.String "mi6.lint/2");
               ("tool", Json.String "mi6_sim lint");
               ("window", Json.Int window);
-              ("programs", section Taint.finding_to_json program_reports);
-              ("configs", section Hwlint.finding_to_json config_reports);
+              ("channels", Json.Bool channels);
+              ("machine", Json.String
+                 (match machine with
+                 | Some M_mi6 -> "mi6"
+                 | Some (M_variant v) -> Config.variant_name v
+                 | None -> "base"));
+              ("programs", section program_finding_json program_reports);
+              ("configs", section config_finding_json config_reports);
               ("total_findings", Json.Int total);
             ]
         in
@@ -1637,7 +1736,8 @@ let lint_cmd =
           sizing, LLC set partitioning, purge coverage, DRAM-region \
           ownership)")
     Term.(const run $ machine $ cores $ witnesses $ hex $ secret_regs
-          $ secret_ranges $ window $ json_file $ dump_hex)
+          $ secret_ranges $ window $ shared_ranges $ channels $ json_file
+          $ dump_hex)
 
 (* ------------------------------------------------------------------ *)
 (* ni                                                                  *)

@@ -200,6 +200,55 @@ let lint_ledger ledger =
     f "region-coverage"
       (Printf.sprintf "ownership masks cover %d of %d regions"
          (Bitvec.popcount union) n);
+  (* Read sharing (Citadel relaxation): declared grants may widen access
+     masks across domains, but never on the monitor's region, and never
+     implicitly — any cross-domain reach outside a declared share is
+     still an ownership violation. *)
+  let shared = Region.shared_regions ledger in
+  List.iter
+    (fun r ->
+      if r = 0 then
+        f "shared-monitor-region"
+          "region 0 (security-monitor memory) carries a read grant — \
+           monitor state must never be shared")
+    shared;
+  let domains =
+    let acc = ref [] in
+    let add o = if not (List.mem o !acc) then acc := o :: !acc in
+    for r = 0 to n - 1 do
+      add (Region.owner ledger r);
+      List.iter add (Region.readers ledger r)
+    done;
+    List.rev !acc
+  in
+  let access who =
+    let bv = Bitvec.create n in
+    for r = 0 to n - 1 do
+      if Region.owner ledger r = who || List.mem who (Region.readers ledger r)
+      then Bitvec.set bv r
+    done;
+    bv
+  in
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+      let bva = access a in
+      List.iter
+        (fun b ->
+          let bvb = access b in
+          List.iter
+            (fun r ->
+              if Bitvec.get bvb r && not (List.mem r shared) then
+                f "region-overlap"
+                  (Printf.sprintf
+                     "protection domains %s and %s both reach DRAM region %d \
+                      outside any declared share"
+                     (label a) (label b) r))
+            (Bitvec.to_indices bva))
+        rest;
+      pairs rest
+  in
+  pairs domains;
   List.rev !findings @ lint_region_masks ~subject:"ledger" owners
 
 (* ------------------------------------------------------------------ *)

@@ -65,7 +65,10 @@ val lint_region_masks :
 
 (** [lint_ledger ledger] — monitor invariants over a DRAM-region
     ownership ledger: region 0 belongs to the monitor; every region has
-    an owner; per-owner masks are pairwise disjoint and tile DRAM. *)
+    an owner; per-owner masks are pairwise disjoint and tile DRAM.
+    Declared read shares ({!Region.share}) are admitted — access masks
+    may overlap exactly on shared regions — but a grant on the monitor's
+    region 0 is flagged ([shared-monitor-region]). *)
 val lint_ledger : Region.t -> finding list
 
 val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,240 @@
+type t =
+  | Bot
+  | Fin of int64 list  (* sorted ascending, distinct, 1..max_card members *)
+  | Itv of int64 * int64  (* signed bounds, lo < hi *)
+  | Top
+
+let max_card = 32
+let bot = Bot
+let top = Top
+let const c = Fin [ c ]
+
+let itv lo hi = if Int64.equal lo hi then Fin [ lo ] else Itv (lo, hi)
+
+let of_list vs =
+  match List.sort_uniq Int64.compare vs with
+  | [] -> Bot
+  | l when List.length l <= max_card -> Fin l
+  | l -> itv (List.hd l) (List.nth l (List.length l - 1))
+
+let is_bot v = v = Bot
+
+let equal a b =
+  match (a, b) with
+  | Bot, Bot | Top, Top -> true
+  | Fin x, Fin y -> List.equal Int64.equal x y
+  | Itv (la, ha), Itv (lb, hb) -> Int64.equal la lb && Int64.equal ha hb
+  | _ -> false
+
+let to_const = function Fin [ c ] -> Some c | _ -> None
+
+let range = function
+  | Bot | Top -> None
+  | Fin l -> Some (List.hd l, List.nth l (List.length l - 1))
+  | Itv (lo, hi) -> Some (lo, hi)
+
+let mem c = function
+  | Bot -> false
+  | Top -> true
+  | Fin l -> List.exists (Int64.equal c) l
+  | Itv (lo, hi) -> Int64.compare lo c <= 0 && Int64.compare c hi <= 0
+
+(* a entirely inside b? (used by widen to detect stabilization; a false
+   negative only widens more, which stays sound) *)
+let leq a b =
+  match (a, b) with
+  | Bot, _ | _, Top -> true
+  | _, Bot | Top, _ -> false
+  | Fin x, _ -> List.for_all (fun c -> mem c b) x
+  | Itv (la, ha), Itv (lb, hb) ->
+    Int64.compare lb la <= 0 && Int64.compare ha hb <= 0
+  | Itv _, Fin _ -> false
+
+let join a b =
+  match (a, b) with
+  | Bot, v | v, Bot -> v
+  | Top, _ | _, Top -> Top
+  | Fin x, Fin y -> of_list (x @ y)
+  | _ ->
+    let la, ha = Option.get (range a) and lb, hb = Option.get (range b) in
+    itv (min la lb) (max ha hb)
+
+(* The widening ladder: a growing bound snaps outward to the next rung,
+   so interval growth takes finitely many widen steps before hitting
+   min/max_int.  Rungs bracket the address shapes the analyses meet
+   (byte masks, pages, DRAM, 32-bit). *)
+let up_rungs =
+  [ 0L; 0xFFL; 0xFFFL; 0xFFFFL; 0xF_FFFFL; 0xFFF_FFFFL; 0x7FFF_FFFFL;
+    0xFFFF_FFFFL; 0xFFFF_FFFF_FFFL ]
+
+let down_rungs = [ 0L; -0xFFL; -0xFFFFL; -0xFFFF_FFFFL ]
+
+let snap_up x =
+  match List.find_opt (fun r -> Int64.compare x r <= 0) up_rungs with
+  | Some r -> r
+  | None -> Int64.max_int
+
+let snap_down x =
+  match List.find_opt (fun r -> Int64.compare r x <= 0) down_rungs with
+  | Some r -> r
+  | None -> Int64.min_int
+
+let widen a b =
+  if leq b a then a
+  else
+    match join a b with
+    | (Bot | Fin _ | Top) as j ->
+      (* Finite sets may grow without snapping: cardinality strictly
+         increases and is capped at [max_card] before hulling. *)
+      j
+    | Itv (lo, hi) ->
+      let la, ha =
+        match range a with Some r -> r | None -> (lo, hi)
+      in
+      let lo' = if Int64.compare lo la < 0 then snap_down lo else la in
+      let hi' = if Int64.compare hi ha > 0 then snap_up hi else ha in
+      itv lo' hi'
+
+(* ------------------------------------------------------------------ *)
+(* Transfer functions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Pairwise-exact product of two small sets; [Top] otherwise. *)
+let apply2 f a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Fin x, Fin y when List.length x * List.length y <= 2 * max_card ->
+    of_list (List.concat_map (fun u -> List.map (f u) y) x)
+  | _ -> Top
+
+let add_overflows a b s =
+  (* Same-signed operands whose sum flips sign wrapped around. *)
+  Int64.compare (Int64.logxor a b) 0L >= 0
+  && Int64.compare (Int64.logxor a s) 0L < 0
+
+let interval_add a b =
+  match (range a, range b) with
+  | Some (la, ha), Some (lb, hb) ->
+    let lo = Int64.add la lb and hi = Int64.add ha hb in
+    if add_overflows la lb lo || add_overflows ha hb hi then Top
+    else itv lo hi
+  | _ -> Top
+
+let add a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | (Fin x, Fin y) when List.length x * List.length y <= 2 * max_card ->
+    of_list (List.concat_map (fun u -> List.map (Int64.add u) y) x)
+  | _ -> interval_add a b
+
+let neg = function
+  | Bot -> Bot
+  | Top -> Top
+  | Fin l -> of_list (List.map Int64.neg l)
+  | Itv (lo, hi) ->
+    if Int64.equal lo Int64.min_int then Top else itv (Int64.neg hi) (Int64.neg lo)
+
+let sub a b = match (a, b) with Bot, _ | _, Bot -> Bot | _ -> add a (neg b)
+
+(* Known non-negative upper bound of an operand, if any. *)
+let nonneg_bound v =
+  match range v with
+  | Some (lo, hi) when Int64.compare lo 0L >= 0 -> Some hi
+  | _ -> None
+
+let band a b =
+  match apply2 Int64.logand a b with
+  | Top ->
+    (* x land y <= y (and >= 0) whenever y >= 0, for any x. *)
+    (match (nonneg_bound a, nonneg_bound b) with
+    | Some ba, Some bb -> itv 0L (min ba bb)
+    | (Some m, None | None, Some m) -> itv 0L m
+    | None, None -> Top)
+  | v -> v
+
+(* Smallest 2^k - 1 covering m (m >= 0); Top-signalled as None near the
+   sign bit. *)
+let bit_ceil m =
+  if Int64.compare m 0x4000_0000_0000_0000L >= 0 then None
+  else begin
+    let c = ref 1L in
+    while Int64.compare !c m < 0 do
+      c := Int64.add (Int64.mul !c 2L) 1L
+    done;
+    Some !c
+  end
+
+let or_xor_bound exact a b =
+  match apply2 exact a b with
+  | Top -> (
+    match (nonneg_bound a, nonneg_bound b) with
+    | Some ba, Some bb -> (
+      match bit_ceil (max ba bb) with Some c -> itv 0L c | None -> Top)
+    | _ -> Top)
+  | v -> v
+
+let bor = or_xor_bound Int64.logor
+let bxor = or_xor_bound Int64.logxor
+
+(* ------------------------------------------------------------------ *)
+(* Resolution                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let unit_of shift x = Int64.to_int (Int64.shift_right x shift)
+
+let unit_count v ~width ~shift =
+  let last x = Int64.add x (Int64.of_int (max 0 (width - 1))) in
+  match v with
+  | Bot -> Some 0
+  | Top -> None
+  | Fin l ->
+    let units =
+      List.concat_map
+        (fun a ->
+          let u0 = unit_of shift a and u1 = unit_of shift (last a) in
+          List.init (u1 - u0 + 1) (fun k -> u0 + k))
+        l
+    in
+    Some (List.length (List.sort_uniq compare units))
+  | Itv (lo, hi) ->
+    let u0 = unit_of shift lo and u1 = unit_of shift (last hi) in
+    Some (u1 - u0 + 1)
+
+let unit_list v ~width ~shift ~max:cap =
+  let last x = Int64.add x (Int64.of_int (max 0 (width - 1))) in
+  match v with
+  | Bot -> Some []
+  | Top -> None
+  | Fin l ->
+    let units =
+      List.concat_map
+        (fun a ->
+          let u0 = unit_of shift a and u1 = unit_of shift (last a) in
+          List.init (u1 - u0 + 1) (fun k -> u0 + k))
+        l
+      |> List.sort_uniq compare
+    in
+    if List.length units <= cap then Some units else None
+  | Itv (lo, hi) ->
+    let u0 = unit_of shift lo and u1 = unit_of shift (last hi) in
+    if u1 - u0 + 1 <= cap then Some (List.init (u1 - u0 + 1) (fun k -> u0 + k))
+    else None
+
+let may_intersect v ~lo ~hi ~width =
+  match v with
+  | Bot -> false
+  | Top -> true
+  | _ ->
+    let la, ha = Option.get (range v) in
+    let ha = Int64.add ha (Int64.of_int (max 0 (width - 1))) in
+    Int64.compare la hi < 0 && Int64.compare ha lo >= 0
+
+let to_string = function
+  | Bot -> "bot"
+  | Top -> "top"
+  | Fin l ->
+    Printf.sprintf "{%s}"
+      (String.concat "," (List.map (Printf.sprintf "0x%Lx") l))
+  | Itv (lo, hi) -> Printf.sprintf "[0x%Lx,0x%Lx]" lo hi
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

@@ -5,6 +5,7 @@ type t = {
   items : Asm.item list;
   secret : Taint.secret;
   secret_reg : Reg.t option;
+  shared : (int * int) list;
   expect_clean : bool;
   expect_clean_speculative : bool;
 }
@@ -54,6 +55,7 @@ let leaky_branch =
       @ halt;
     secret = secret_a0;
     secret_reg = Some a0;
+    shared = [];
     expect_clean = false;
     expect_clean_speculative = false;
   }
@@ -73,6 +75,7 @@ let leaky_load =
       @ halt;
     secret = secret_a0;
     secret_reg = Some a0;
+    shared = [];
     expect_clean = false;
     expect_clean_speculative = false;
   }
@@ -93,6 +96,7 @@ let leaky_store =
       @ halt;
     secret = secret_a0;
     secret_reg = Some a0;
+    shared = [];
     expect_clean = false;
     expect_clean_speculative = false;
   }
@@ -110,6 +114,7 @@ let leaky_div =
       @ halt;
     secret = secret_a0;
     secret_reg = Some a0;
+    shared = [];
     expect_clean = false;
     expect_clean_speculative = false;
   }
@@ -137,6 +142,7 @@ let spectre_v1 =
       @ halt;
     secret = secret_a0;
     secret_reg = Some a0;
+    shared = [];
     expect_clean = true;
     expect_clean_speculative = false;
   }
@@ -164,6 +170,7 @@ let ct_select =
       @ halt;
     secret = secret_a0;
     secret_reg = Some a0;
+    shared = [];
     expect_clean = true;
     expect_clean_speculative = true;
   }
@@ -196,6 +203,7 @@ let ct_memcmp =
       @ halt;
     secret = { Taint.regs = []; ranges = [ (data_base, data_base + 16) ] };
     secret_reg = None;
+    shared = [];
     expect_clean = true;
     expect_clean_speculative = true;
   }
@@ -225,6 +233,7 @@ let spectre_v2 =
       @ halt;
     secret = secret_a0;
     secret_reg = Some a0;
+    shared = [];
     expect_clean = true;
     expect_clean_speculative = false;
   }
@@ -254,13 +263,121 @@ let ssb =
       @ halt;
     secret = secret_a0;
     secret_reg = Some a0;
+    shared = [];
     expect_clean = true;
     expect_clean_speculative = false;
   }
 
+(* RSB underflow (the ret2spec/Spectre-RSB shape): a balanced call/return
+   pair fills and drains the return stack; the second [ret] has nothing
+   left to pop, so the front end falls back to the BTB's stale prediction
+   — which an attacker trains to point at the gadget.  Architecturally
+   [ra] has just been rewritten to [landing], so committed execution
+   skips the gadget entirely. *)
+let rsb_underflow =
+  {
+    name = "rsb-underflow";
+    description =
+      "return with an exhausted return-stack: clean architecturally, the \
+       predicted (attacker-trained) return target runs a secret-indexed \
+       load transiently";
+    base = code_base;
+    items =
+      [
+        Asm.Li (s1, data_base);
+        Asm.Call "leaf";
+        Asm.La (Reg.ra, "landing");
+        Asm.Ret;
+        Asm.Label "gadget";
+        alui Instr.And t1 a0 0xF8;
+        alu Instr.Add t1 s1 t1;
+        load Instr.Ld t2 t1 0;
+        Asm.Label "landing";
+      ]
+      @ halt
+      @ [ Asm.Label "leaf"; Asm.Ret ];
+    secret = secret_a0;
+    secret_reg = Some a0;
+    shared = [];
+    expect_clean = true;
+    expect_clean_speculative = false;
+  }
+
+(* The Citadel shared-memory trio: a declared read-shared window at
+   [data_base + 0x100, data_base + 0x200).  Reading it at public indices
+   is the sanctioned use; writing it, or indexing it with a secret, is a
+   cross-enclave transmitter. *)
+let shared_lo = data_base + 0x100
+let shared_hi = data_base + 0x200
+let shared_window = [ (shared_lo, shared_hi) ]
+
+let shared_leaky_read =
+  {
+    name = "shared-leaky-read";
+    description =
+      "victim loads from the declared read-shared region at a \
+       secret-derived index (cross-enclave cache-set channel)";
+    base = code_base;
+    items =
+      [
+        Asm.Li (s1, shared_lo);
+        alui Instr.And t0 a0 0xF8;
+        alu Instr.Add t0 s1 t0;
+        load Instr.Ld t1 t0 0;
+      ]
+      @ halt;
+    secret = secret_a0;
+    secret_reg = Some a0;
+    shared = shared_window;
+    expect_clean = false;
+    expect_clean_speculative = false;
+  }
+
+let shared_write =
+  {
+    name = "shared-write";
+    description =
+      "store into the declared read-shared region: a transmitter the \
+       other enclave can time even at a public address";
+    base = code_base;
+    items =
+      [ Asm.Li (s1, shared_lo); Asm.Li (t1, 7); store Instr.Sd s1 t1 0 ]
+      @ halt;
+    secret = secret_a0;
+    secret_reg = Some a0;
+    shared = shared_window;
+    expect_clean = false;
+    expect_clean_speculative = false;
+  }
+
+let ct_shared_read =
+  {
+    name = "ct-shared-read";
+    description =
+      "public-index reads from the read-shared region, result stored to \
+       private memory (the sanctioned sharing pattern)";
+    base = code_base;
+    items =
+      [
+        Asm.Li (s1, shared_lo);
+        Asm.Li (t3, data_base);
+        load Instr.Ld t1 s1 0;
+        load Instr.Ld t2 s1 8;
+        alu Instr.Add t1 t1 t2;
+        store Instr.Sd t3 t1 0;
+      ]
+      @ halt;
+    secret = secret_a0;
+    secret_reg = Some a0;
+    shared = shared_window;
+    expect_clean = true;
+    expect_clean_speculative = true;
+  }
+
 let all =
   [ leaky_branch; leaky_load; leaky_store; leaky_div; spectre_v1; spectre_v2;
-    ssb; ct_select; ct_memcmp ]
+    ssb; rsb_underflow; shared_leaky_read; shared_write; ct_select; ct_memcmp;
+    ct_shared_read ]
 
 let names = List.map (fun w -> w.name) all
 
@@ -279,5 +396,8 @@ let to_hex w =
   List.iter
     (fun (lo, hi) -> Printf.bprintf b "# secret-range 0x%x:0x%x\n" lo hi)
     w.secret.Taint.ranges;
+  List.iter
+    (fun (lo, hi) -> Printf.bprintf b "# shared-range 0x%x:0x%x\n" lo hi)
+    w.shared;
   Array.iter (fun word -> Printf.bprintf b "%08x\n" word) p.Asm.words;
   Buffer.contents b

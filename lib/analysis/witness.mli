@@ -14,6 +14,8 @@ type t = {
   secret : Taint.secret;
   secret_reg : Reg.t option;
       (** the input register the dynamic harness varies, if any *)
+  shared : (int * int) list;
+      (** declared read-shared byte ranges [\[lo, hi)] (Citadel) *)
   expect_clean : bool;  (** committed-mode verdict *)
   expect_clean_speculative : bool;  (** verdict with a speculation window *)
 }
@@ -25,6 +27,7 @@ val program : t -> Asm.program
 
 (** [to_hex w] renders the assembled program as the text format
     [mi6_sim lint --hex] reads: [#] comment lines carrying
-    [base]/[secret-reg]/[secret-range] directives, then one lowercase hex
+    [base]/[secret-reg]/[secret-range]/[shared-range] directives, then one
+    lowercase hex
     word per line. *)
 val to_hex : t -> string

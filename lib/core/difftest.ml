@@ -170,7 +170,7 @@ let to_uops run ~func_code_base ~func_data_base =
 
 type ooo_run = { committed : Uop.t list; cycles : int }
 
-let run_ooo ~variant uops =
+let run_ooo ?trace ~variant uops =
   let stats = Stats.create () in
   let timing = Config.timing ~cores:1 variant in
   let remaining = ref uops in
@@ -181,7 +181,7 @@ let run_ooo ~variant uops =
       remaining := tl;
       Some u
   in
-  let m = Tmachine.create timing ~streams:[| stream |] ~stats in
+  let m = Tmachine.create ?trace timing ~streams:[| stream |] ~stats in
   let committed = ref [] in
   Core.set_on_commit (Tmachine.core m 0) (fun u -> committed := u :: !committed);
   let cycles = Tmachine.run m ~max_cycles:4_000_000 in

@@ -76,9 +76,12 @@ type ooo_run = {
   cycles : int;
 }
 
-(** [run_ooo ~variant uops] retires the stream through a one-core variant
-    machine (full cache hierarchy) with a retirement probe installed. *)
-val run_ooo : variant:Config.variant -> Uop.t list -> ooo_run
+(** [run_ooo ?trace ~variant uops] retires the stream through a one-core
+    variant machine (full cache hierarchy) with a retirement probe
+    installed, optionally recording events into [trace] — the static/
+    dynamic agreement harness taps this to let the Audit localize
+    divergences. *)
+val run_ooo : ?trace:Trace.t -> variant:Config.variant -> Uop.t list -> ooo_run
 
 (** [compare_commits ~expected ~actual] — [Error msg] on the first
     position where the retirement stream deviates from the translated

@@ -1,11 +1,19 @@
 type owner = Monitor | Os | Enclave of int | Free
 
-type t = { geometry : Addr.regions; owners : owner array }
+type t = {
+  geometry : Addr.regions;
+  owners : owner array;
+  readers : owner list array;  (* read-share grants, per region *)
+}
 
 let create geometry =
   let owners = Array.make geometry.Addr.region_count Os in
   owners.(0) <- Monitor;
-  { geometry; owners }
+  {
+    geometry;
+    owners;
+    readers = Array.make geometry.Addr.region_count [];
+  }
 
 let geometry t = t.geometry
 let region_count t = t.geometry.Addr.region_count
@@ -26,8 +34,35 @@ let transfer t ~regions ~from_ ~to_ =
          (fun r -> r >= 0 && r < Array.length t.owners && t.owners.(r) = from_)
          regions
   in
-  if ok then List.iter (fun r -> t.owners.(r) <- to_) regions;
+  if ok then
+    List.iter
+      (fun r ->
+        t.owners.(r) <- to_;
+        (* An ownership change voids every standing read grant: the new
+           owner must re-issue shares under its own authority. *)
+        t.readers.(r) <- [])
+      regions;
   ok
+
+let readers t r =
+  if r < 0 || r >= Array.length t.readers then invalid_arg "Region.readers";
+  t.readers.(r)
+
+let share t ~region ~owner:who ~reader =
+  let ok =
+    region >= 0
+    && region < Array.length t.owners
+    && t.owners.(region) = who
+    && who <> Free && reader <> Free && reader <> who
+  in
+  if ok && not (List.mem reader t.readers.(region)) then
+    t.readers.(region) <- t.readers.(region) @ [ reader ];
+  ok
+
+let shared_regions t =
+  let acc = ref [] in
+  Array.iteri (fun i rs -> if rs <> [] then acc := i :: !acc) t.readers;
+  List.rev !acc
 
 let perm_mask t who =
   let mask = ref 0L in
@@ -35,4 +70,12 @@ let perm_mask t who =
     (fun i o ->
       if o = who then mask := Int64.logor !mask (Int64.shift_left 1L i))
     t.owners;
+  !mask
+
+let access_mask t who =
+  let mask = ref (perm_mask t who) in
+  Array.iteri
+    (fun i rs ->
+      if List.mem who rs then mask := Int64.logor !mask (Int64.shift_left 1L i))
+    t.readers;
   !mask

@@ -5,7 +5,14 @@
     (Section 6.1: "asserts that resources allocated to enclaves by the OS
     are non-overlapping").  Region 0 is reserved for the monitor itself at
     creation ("statically reserves a sufficient amount of physical
-    memory"). *)
+    memory").
+
+    {b Read sharing} (Citadel's relaxation of MI6's strict no-sharing
+    rule): an owner can grant other domains {e read} access to a region
+    it owns via {!share}.  Grants never move ownership, are revoked by
+    any {!transfer} of the region, and widen only {!access_mask} — the
+    write-side {!perm_mask} stays ownership-exact.  The {!Lint} ledger
+    checks accept access-mask overlap precisely on shared regions. *)
 
 type owner = Monitor | Os | Enclave of int | Free
 
@@ -23,12 +30,31 @@ val owned_by : t -> owner -> int list
 
 (** [transfer t ~regions ~from_ ~to_] atomically moves ownership; fails
     (returning [false], changing nothing) if any region is not owned by
-    [from_]. *)
+    [from_].  A successful transfer revokes every read grant on the
+    moved regions. *)
 val transfer : t -> regions:int list -> from_:owner -> to_:owner -> bool
+
+(** [share t ~region ~owner ~reader] grants [reader] read access to
+    [region].  Fails (returning [false]) unless [owner] actually owns
+    the region; [Free] can neither grant nor receive, and the owner
+    needs no grant to itself.  Idempotent. *)
+val share : t -> region:int -> owner:owner -> reader:owner -> bool
+
+(** [readers t r] — the standing read grants on region [r], in grant
+    order. *)
+val readers : t -> int -> owner list
+
+(** [shared_regions t] — ascending ids of regions with at least one
+    read grant. *)
+val shared_regions : t -> int list
 
 (** [perm_mask t who] is the 64-bit [mregions] CSR value granting exactly
     [who]'s regions. *)
 val perm_mask : t -> owner -> int64
+
+(** [access_mask t who] — [perm_mask] plus the regions [who] can read
+    through standing grants. *)
+val access_mask : t -> owner -> int64
 
 (** [disjoint_check t] — no region has two owners by construction; this
     validates internal consistency (used by property tests). *)

@@ -14,6 +14,12 @@ open Mi6_core
 module Taint = Mi6_analysis.Taint
 module Lint = Mi6_analysis.Lint
 module Witness = Mi6_analysis.Witness
+module Channel = Mi6_analysis.Channel
+module Vset = Mi6_analysis.Vset
+module Trace = Mi6_obs.Trace
+module Audit = Mi6_obs.Audit
+module Json = Mi6_obs.Json
+module Llc = Mi6_llc.Llc
 module Core_config = Mi6_ooo.Core_config
 module L1 = Mi6_cache.L1
 module Index = Mi6_cache.Index
@@ -85,12 +91,120 @@ let test_soundness_nonvacuous () =
     true (!leaky_seen > 20)
 
 (* ------------------------------------------------------------------ *)
+(* Static/dynamic channel agreement                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The stronger cross-check: when the dynamic Audit can not only see a
+   divergence but localize it to a hardware channel, the static channel
+   inference must have named that channel.  The audit observes the
+   shared memory system — L1 misses, LLC structures, DRAM commands,
+   page walks; core-side counters and purges are diagnostics, not
+   attacker-visible LLC traffic, so they are filtered out. *)
+let audit_filter = [ Trace.L1; Trace.Llc; Trace.Dram; Trace.Ptw ]
+let base_timing = Config.timing ~cores:1 Config.Base
+
+let traced_events uops =
+  let trace = Trace.create ~filter:audit_filter () in
+  ignore (Difftest.run_ooo ~trace ~variant:Config.Base uops);
+  Trace.events trace
+
+(* The machine is trace-driven, so equal committed streams replay to
+   bit-identical event streams; only pay for machine runs on streams
+   that actually differ. *)
+let audit_localized ua ub =
+  if ua = ub then None
+  else
+    Audit.first_leaking_channel
+      (Audit.diff ~label_a:"s=a" ~label_b:"s=b" (traced_events ua)
+         (traced_events ub))
+
+(* Union of the statically inferred channels, projected onto the
+   Audit's vocabulary (the front-end Btb/Rsb channels have no dynamic
+   counterpart). *)
+let static_audit_channels ?shared ~secret prog =
+  match Taint.analyze_program ~window:32 ?shared ~secret prog with
+  | Error _ -> []
+  | Ok fs ->
+    List.sort_uniq compare
+      (List.filter_map Channel.to_audit
+         (List.concat_map (Channel.infer ~timing:base_timing) fs))
+
+let localized_seen = ref 0
+
+let prop_channel_agreement =
+  QCheck.Test.make
+    ~name:
+      "audit-localized divergences carry a statically inferred channel (500 \
+       programs)"
+    ~count:500 arbitrary_secret_ops (fun ops ->
+      let prog = assemble_ops ops in
+      let localized =
+        List.filter_map
+          (fun (a, b) ->
+            audit_localized (committed_uops prog a) (committed_uops prog b))
+          secret_pairs
+      in
+      if localized = [] then true
+      else begin
+        incr localized_seen;
+        let static = static_audit_channels ~secret prog in
+        match
+          List.find_opt (fun ch -> not (List.mem ch static)) localized
+        with
+        | None -> true
+        | Some ch ->
+          QCheck.Test.fail_reportf
+            "the audit localizes the leak to %s but the static channel set \
+             is [%s]:\n%s"
+            (Audit.channel_name ch)
+            (String.concat ", " (List.map Audit.channel_name static))
+            (Gen_programs.print_ops ops)
+      end)
+
+let test_agreement_nonvacuous () =
+  Alcotest.(check bool)
+    (Printf.sprintf "agreement property saw %d localized leaks"
+       !localized_seen)
+    true
+    (!localized_seen >= 10)
+
+(* The same agreement over the curated corpus: every witness whose
+   secret pair the audit can localize must be statically explained. *)
+let test_witness_channel_agreement () =
+  List.iter
+    (fun w ->
+      match w.Witness.secret_reg with
+      | None -> ()
+      | Some r ->
+        let uops_of v =
+          let run =
+            Difftest.run_func ~init_regs:[ (r, v) ]
+              ~program:(Witness.program w) ~data_base:0x8000 ~data_bytes:1024
+              ~max_steps:20_000 ()
+          in
+          Difftest.to_uops run ~func_code_base:w.Witness.base
+            ~func_data_base:0x8000
+        in
+        (match audit_localized (uops_of 0x11L) (uops_of 0xA5L) with
+        | None -> ()
+        | Some ch ->
+          let static =
+            static_audit_channels ~shared:w.Witness.shared
+              ~secret:w.Witness.secret (Witness.program w)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: audited channel %s statically inferred"
+               w.Witness.name (Audit.channel_name ch))
+            true (List.mem ch static)))
+    Witness.all
+
+(* ------------------------------------------------------------------ *)
 (* Witness programs                                                     *)
 (* ------------------------------------------------------------------ *)
 
 let analyze_witness ?window w =
-  match Taint.analyze_program ?window ~secret:w.Witness.secret
-          (Witness.program w)
+  match Taint.analyze_program ?window ~shared:w.Witness.shared
+          ~secret:w.Witness.secret (Witness.program w)
   with
   | Error msg -> Alcotest.failf "%s: %s" w.Witness.name msg
   | Ok fs -> fs
@@ -147,6 +261,51 @@ let test_ssb_channel () =
      a minimal wrong-path window. *)
   Alcotest.(check bool) "ssb flagged at window 1" true
     (analyze_witness ~window:1 w <> [])
+
+(* RSB underflow: a return executed with an empty return-address stack
+   predicts from stale state, so the gadget is reachable only
+   transiently — and the channel lowering must name the RSB. *)
+let test_rsb_underflow_channel () =
+  let w = Option.get (Witness.find "rsb-underflow") in
+  Alcotest.(check int) "committed run clean" 0
+    (List.length (analyze_witness ~window:0 w));
+  let fs = analyze_witness ~window:32 w in
+  Alcotest.(check bool) "rsb-underflow flagged speculatively" true (fs <> []);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "finding labeled speculative" true
+        f.Taint.speculative;
+      Alcotest.(check bool) "finding carries rsb provenance" true f.Taint.rsb)
+    fs;
+  Alcotest.(check bool) "lowering names the rsb channel" true
+    (List.mem Channel.Rsb
+       (List.concat_map (Channel.infer ~timing:base_timing) fs))
+
+(* Shared-region discipline: reads of declared read-shared memory are
+   fine until the address is secret-tainted; writes are never fine. *)
+let test_shared_region_witnesses () =
+  let get n = Option.get (Witness.find n) in
+  let fs = analyze_witness ~window:32 (get "shared-leaky-read") in
+  Alcotest.(check bool) "shared-leaky-read flagged as shared-read" true
+    (List.exists (fun f -> f.Taint.kind = Taint.Shared_read) fs);
+  let fs = analyze_witness ~window:0 (get "shared-write") in
+  Alcotest.(check bool) "shared-write flagged architecturally" true
+    (List.exists (fun f -> f.Taint.kind = Taint.Shared_write) fs);
+  Alcotest.(check int) "ct-shared-read clean" 0
+    (List.length (analyze_witness ~window:32 (get "ct-shared-read")))
+
+(* The JSON export must be a pure function of the program: findings
+   sorted on (pc, kind, speculative), bytes identical across runs. *)
+let test_findings_json_deterministic () =
+  let w = Option.get (Witness.find "shared-leaky-read") in
+  let render () =
+    let fs = analyze_witness ~window:32 w in
+    Alcotest.(check bool) "sorted on (pc, kind, speculative)" true
+      (List.sort Taint.compare_finding fs = fs);
+    Json.to_string (Json.List (List.map Taint.finding_to_json fs))
+  in
+  Alcotest.(check string) "byte-identical across two runs" (render ())
+    (render ())
 
 (* A program violating all four disciplines at once; the emitted findings
    must come out sorted on (pc, kind). *)
@@ -209,6 +368,92 @@ let test_reg_of_name () =
   Alcotest.(check (option int)) "zero alias" (Some 0) (Reg.of_name "zero");
   Alcotest.(check (option int)) "unknown" None (Reg.of_name "nope");
   Alcotest.(check (option int)) "out of range" None (Reg.of_name "x32")
+
+(* ------------------------------------------------------------------ *)
+(* Value-set abstract domain                                            *)
+(* ------------------------------------------------------------------ *)
+
+let arb_member = QCheck.(map Int64.of_int (int_range (-1024) 1024))
+let arb_members = QCheck.(list_of_size Gen.(int_range 1 40) arb_member)
+
+(* Soundness: every concrete result of a concrete pair stays inside the
+   abstract transfer of the operands' abstractions — across the exact
+   small-set regime, the interval hull (lists above max_card), join and
+   widen. *)
+let prop_vset_transfer_sound =
+  QCheck.Test.make ~name:"vset: concrete results stay inside transfers"
+    ~count:500
+    QCheck.(pair arb_members arb_members)
+    (fun (xs, ys) ->
+      let a = Vset.of_list xs and b = Vset.of_list ys in
+      List.for_all
+        (fun (nm, f, g) ->
+          let r = f a b in
+          List.for_all
+            (fun x ->
+              List.for_all
+                (fun y ->
+                  Vset.mem (g x y) r
+                  || QCheck.Test.fail_reportf
+                       "%s: %Ld . %Ld = %Ld escapes %s" nm x y (g x y)
+                       (Vset.to_string r))
+                ys)
+            xs)
+        [
+          ("add", Vset.add, Int64.add);
+          ("sub", Vset.sub, Int64.sub);
+          ("and", Vset.band, Int64.logand);
+          ("or", Vset.bor, Int64.logor);
+          ("xor", Vset.bxor, Int64.logxor);
+        ]
+      && List.for_all
+           (fun x ->
+             Vset.mem x (Vset.join a b)
+             && Vset.mem x (Vset.join b a)
+             && Vset.mem x (Vset.widen a b)
+             && Vset.mem x (Vset.widen b a))
+           xs)
+
+(* Termination: a loop bumping an address by a constant stride every
+   iteration must reach a widening fixpoint — the finite set saturates
+   in at most max_card steps, then the interval bound climbs a fixed
+   threshold ladder. *)
+let prop_vset_widening_terminates =
+  QCheck.Test.make ~name:"vset: widening chains stabilize" ~count:200
+    QCheck.(pair arb_member (int_range 1 4096))
+    (fun (start, stride) ->
+      let stride = Vset.const (Int64.of_int stride) in
+      let rec climb w v n =
+        if n > (2 * Vset.max_card) + 16 then false
+        else
+          let w' = Vset.widen w v in
+          if Vset.equal w' w then true else climb w' (Vset.add v stride) (n + 1)
+      in
+      climb Vset.bot (Vset.const start) 0)
+
+(* Resolution against the machine's real geometry: the classic gadget
+   address set base + (secret & 0xF8) spans exactly four cache lines of
+   one page, and those lines land in four distinct LLC sets of the
+   timing configuration the channel lowering consults. *)
+let test_vset_index_resolution () =
+  let masked = Vset.band Vset.top (Vset.const 0xF8L) in
+  let addr = Vset.add (Vset.const 0x8000L) masked in
+  Alcotest.(check (option int)) "four cache lines" (Some 4)
+    (Vset.unit_count addr ~width:8 ~shift:6);
+  Alcotest.(check (option int)) "one page" (Some 1)
+    (Vset.unit_count addr ~width:8 ~shift:12);
+  let lines = Option.get (Vset.unit_list addr ~width:8 ~shift:6 ~max:16) in
+  Alcotest.(check (list int)) "the expected lines" [ 512; 513; 514; 515 ]
+    lines;
+  let index = base_timing.Config.llc.Llc.index in
+  Alcotest.(check int) "four distinct LLC sets" 4
+    (List.length
+       (List.sort_uniq compare
+          (List.map (fun line -> Index.index index ~line) lines)));
+  Alcotest.(check bool) "intersects the touched window" true
+    (Vset.may_intersect addr ~lo:0x80F0L ~hi:0x8100L ~width:8);
+  Alcotest.(check bool) "misses a disjoint window" false
+    (Vset.may_intersect addr ~lo:0x8200L ~hi:0x8300L ~width:8)
 
 (* ------------------------------------------------------------------ *)
 (* Hardware-invariant linter                                            *)
@@ -315,6 +560,48 @@ let test_lint_ledger () =
   Alcotest.(check int) "ledger still clean after rejected transfer" 0
     (List.length (Lint.lint_ledger ledger))
 
+(* Citadel-style read sharing: a declared grant widens access masks
+   without moving ownership, lints clean off the monitor's region, and
+   dies with the next transfer. *)
+let test_lint_ledger_sharing () =
+  let ledger = Region.create Addr.default_regions in
+  Alcotest.(check bool) "carve enclave 0" true
+    (Region.transfer ledger ~regions:[ 1; 2 ] ~from_:Region.Os
+       ~to_:(Region.Enclave 0));
+  Alcotest.(check bool) "carve enclave 1" true
+    (Region.transfer ledger ~regions:[ 3 ] ~from_:Region.Os
+       ~to_:(Region.Enclave 1));
+  Alcotest.(check bool) "owner grant accepted" true
+    (Region.share ledger ~region:2 ~owner:(Region.Enclave 0)
+       ~reader:(Region.Enclave 1));
+  Alcotest.(check bool) "non-owner grant rejected" false
+    (Region.share ledger ~region:2 ~owner:(Region.Enclave 1)
+       ~reader:Region.Os);
+  Alcotest.(check int) "declared share lints clean" 0
+    (List.length (Lint.lint_ledger ledger));
+  Alcotest.(check (list int)) "region 2 is the shared region" [ 2 ]
+    (Region.shared_regions ledger);
+  Alcotest.(check int64) "access masks overlap exactly on region 2"
+    (Int64.shift_left 1L 2)
+    (Int64.logand
+       (Region.access_mask ledger (Region.Enclave 0))
+       (Region.access_mask ledger (Region.Enclave 1)));
+  Alcotest.(check int64) "perm mask stays ownership-exact"
+    (Region.perm_mask ledger (Region.Enclave 1))
+    (Int64.shift_left 1L 3);
+  (* Granting the monitor's own region is legal but flagged. *)
+  Alcotest.(check bool) "monitor grant accepted" true
+    (Region.share ledger ~region:0 ~owner:Region.Monitor
+       ~reader:(Region.Enclave 0));
+  Alcotest.(check bool) "monitor grant flagged" true
+    (has_check (Lint.lint_ledger ledger) "shared-monitor-region");
+  (* A transfer of the shared region revokes its grants. *)
+  Alcotest.(check bool) "transfer of shared region" true
+    (Region.transfer ledger ~regions:[ 2 ] ~from_:(Region.Enclave 0)
+       ~to_:Region.Os);
+  Alcotest.(check bool) "grants revoked by transfer" true
+    (Region.readers ledger 2 = [])
+
 (* ------------------------------------------------------------------ *)
 (* Bisection over witness programs                                     *)
 (* ------------------------------------------------------------------ *)
@@ -405,6 +692,20 @@ let () =
             Alcotest.test_case "property saw real leaks" `Quick
               test_soundness_nonvacuous;
           ] );
+      ( "channel-agreement",
+        qsuite [ prop_channel_agreement ]
+        @ [
+            Alcotest.test_case "property saw localized leaks" `Quick
+              test_agreement_nonvacuous;
+            Alcotest.test_case "witness corpus agrees with the audit" `Quick
+              test_witness_channel_agreement;
+          ] );
+      ( "vset",
+        qsuite [ prop_vset_transfer_sound; prop_vset_widening_terminates ]
+        @ [
+            Alcotest.test_case "index resolution against the geometry" `Quick
+              test_vset_index_resolution;
+          ] );
       ( "witnesses",
         [
           Alcotest.test_case "static verdicts" `Quick test_witness_verdicts;
@@ -414,6 +715,12 @@ let () =
             test_spectre_v2_channel;
           Alcotest.test_case "ssb load-address channel" `Quick
             test_ssb_channel;
+          Alcotest.test_case "rsb-underflow channel" `Quick
+            test_rsb_underflow_channel;
+          Alcotest.test_case "shared-region verdicts" `Quick
+            test_shared_region_witnesses;
+          Alcotest.test_case "findings JSON deterministic" `Quick
+            test_findings_json_deterministic;
           Alcotest.test_case "findings sorted" `Quick test_findings_sorted;
           Alcotest.test_case "leaky-branch leaks on BASE" `Quick
             test_leaky_branch_dynamic;
@@ -431,6 +738,8 @@ let () =
           Alcotest.test_case "LLC set partitions" `Quick test_lint_partitions;
           Alcotest.test_case "region masks" `Quick test_lint_region_masks;
           Alcotest.test_case "ownership ledger" `Quick test_lint_ledger;
+          Alcotest.test_case "ledger read sharing" `Quick
+            test_lint_ledger_sharing;
         ] );
       ( "bisect",
         [

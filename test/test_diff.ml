@@ -322,7 +322,7 @@ let transient_witness_tests =
         (Printf.sprintf "%s commits a secret-independent path" name)
         `Quick
         (test_transient_witness_commits name))
-    [ "spectre-v1"; "spectre-v2"; "ssb" ]
+    [ "spectre-v1"; "spectre-v2"; "ssb"; "rsb-underflow" ]
 
 (* ------------------------------------------------------------------ *)
 
